@@ -1,0 +1,149 @@
+// Command reproduce regenerates the paper's tables and figures on the
+// simulated platforms and prints them next to the paper's reported values.
+//
+// Usage:
+//
+//	reproduce [-experiment all|table1|table2|table3|fig3|fig4|fig5|fig6] [-scale N] [-seed N]
+//
+// -scale divides the steady-state measurement windows (1 = full length, as
+// recorded in EXPERIMENTS.md; larger is faster but noisier).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("reproduce: ")
+	experiment := flag.String("experiment", "all", "which experiment to run")
+	scale := flag.Int("scale", 1, "time-scale divisor for measurement windows")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	flag.Parse()
+
+	opt := harness.Options{Seed: *seed, TimeScale: *scale}
+	run := map[string]func(harness.Options) error{
+		"table1":   runTable1,
+		"table2":   runTable2,
+		"table3":   runTable3,
+		"fig3":     runFigure3,
+		"fig4":     runFigure4,
+		"fig5":     runFigure5,
+		"fig6":     runFigure6,
+		"ablation": runAblations,
+	}
+	order := []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "ablation"}
+	if *experiment == "all" {
+		for _, name := range order {
+			if err := run[name](opt); err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+		}
+		return
+	}
+	fn, ok := run[*experiment]
+	if !ok {
+		log.Printf("unknown experiment %q; choose one of: all %v", *experiment, order)
+		os.Exit(2)
+	}
+	if err := fn(opt); err != nil {
+		log.Fatalf("%s: %v", *experiment, err)
+	}
+}
+
+func runTable1(harness.Options) error {
+	fmt.Println("Table 1 — hardware specifications (from platform profiles)")
+	fmt.Println(harness.RenderTable1(harness.Table1()))
+	return nil
+}
+
+func runTable2(opt harness.Options) error {
+	for _, p := range topology.Profiles() {
+		res, err := harness.Table2(p, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	return nil
+}
+
+func runTable3(opt harness.Options) error {
+	for _, p := range topology.Profiles() {
+		fmt.Println(harness.Table3(p, opt).Render())
+	}
+	return nil
+}
+
+func runFigure3(opt harness.Options) error {
+	panels, err := harness.Figure3(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Println(harness.RenderFigure3(panels))
+	return nil
+}
+
+func runFigure4(opt harness.Options) error {
+	rows, err := harness.Figure4(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Println(harness.RenderFigure4(rows))
+	return nil
+}
+
+func runFigure5(opt harness.Options) error {
+	results, err := harness.Figure5(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Println(harness.RenderFigure5(results))
+	return nil
+}
+
+func runFigure6(opt harness.Options) error {
+	curves, err := harness.Figure6(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Println(harness.RenderFigure6(curves))
+	return nil
+}
+
+func runAblations(opt harness.Options) error {
+	a1, err := harness.AblationTrafficManager(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Println(harness.RenderA1(a1))
+	for _, p := range topology.Profiles() {
+		a2, err := harness.AblationNPS(p, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderA2(a2))
+	}
+	a3, err := harness.AblationNUMA(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Println(harness.RenderA3(a3))
+	a4, err := harness.AblationCXLFlit(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Println(harness.RenderA4(a4))
+	a5, err := harness.AblationNoCModel(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Println(harness.RenderA5(a5))
+	return nil
+}

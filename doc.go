@@ -1,0 +1,10 @@
+// Package repro is a simulation-based reproduction of "Server Chiplet
+// Networking" (HotNets '25): a discrete-event model of the intra-host
+// network inside chiplet-based server CPUs, calibrated against two
+// generations of AMD EPYC platforms, plus the measurement harness that
+// regenerates every table and figure in the paper's evaluation.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); the runnable surfaces are the commands under cmd/, the
+// examples under examples/, and the benchmarks in bench_test.go.
+package repro

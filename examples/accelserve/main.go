@@ -1,0 +1,76 @@
+// Accelerator serving: the paper's research direction #4 in action. An
+// inference-style service submits small latency-critical kernels to an
+// accelerator behind the I/O hub while a training-style job streams bulk
+// DMA over the same device link. On the shared path, doorbells and
+// completions queue behind data; a reserved control lane (the "intra-host
+// switching" fix) restores them to unloaded latency.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// serveKernels submits one small kernel every 5 us for 400 us while a bulk
+// job streams 64 MB through the same device, and reports the doorbell and
+// end-to-end latency distribution of the small kernels.
+func serveKernels(priority bool) (dbP50, dbP99, totalP99 units.Time) {
+	prof := topology.EPYC9634()
+	eng := sim.New(21)
+	net := core.New(eng, prof)
+	cfg := accel.DefaultConfig()
+	cfg.PriorityLane = priority
+	dev, err := accel.New(net, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The bulk job: one huge input transfer (training batch load).
+	dev.Submit(topology.CoreID{Core: 6}, accel.Kernel{
+		Exec:  50 * units.Microsecond,
+		DMAIn: 64 * units.MB,
+	}, nil)
+
+	// The service: a 2 us kernel with a small input every 5 us.
+	submitted := 0
+	var tick func()
+	tick = func() {
+		dev.Submit(topology.CoreID{}, accel.Kernel{
+			Exec:  2 * units.Microsecond,
+			DMAIn: 32 * units.KiB,
+		}, nil)
+		submitted++
+		if submitted < 80 {
+			eng.After(5*units.Microsecond, tick)
+		}
+	}
+	eng.After(10*units.Microsecond, tick)
+	eng.Run()
+
+	db := dev.Doorbells()
+	return db.P50(), db.P99(), dev.Totals().P999()
+}
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("An inference service shares an accelerator's device link with a")
+	fmt.Println("bulk training transfer (64 MB DMA-in) on an EPYC 9634.")
+	fmt.Println()
+	p50, p99, tot := serveKernels(false)
+	fmt.Printf("shared lane:    doorbell p50=%-10v p99=%-10v  kernel p999=%v\n", p50, p99, tot)
+	p50, p99, tot = serveKernels(true)
+	fmt.Printf("priority lane:  doorbell p50=%-10v p99=%-10v  kernel p999=%v\n", p50, p99, tot)
+	fmt.Println()
+	fmt.Println("The control virtual channel keeps the signal plane at unloaded")
+	fmt.Println("latency while the data plane saturates the link — the intra-host")
+	fmt.Println("switching module the paper calls for. Kernel completion time is")
+	fmt.Println("unchanged: the small kernels still wait behind the bulk job's DMA")
+	fmt.Println("and the single execution engine — prioritizing control traffic")
+	fmt.Println("fixes signalling, not data-plane contention.")
+}

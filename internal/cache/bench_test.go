@@ -1,0 +1,37 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+func BenchmarkSimCacheAccess(b *testing.B) {
+	c := NewSimCache(Geometry{Size: 32 * units.KiB, Ways: 8, Line: 64})
+	rng := sim.NewRNG(1)
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1 << 20))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i%len(addrs)])
+	}
+}
+
+func BenchmarkSimHierarchyAccess(b *testing.B) {
+	h := NewSimHierarchy(ConfigFromProfile(topology.EPYC7302()))
+	rng := sim.NewRNG(1)
+	addrs := make([]uint64, 8192)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(64 << 20))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(addrs[i%len(addrs)])
+	}
+}

@@ -1,0 +1,212 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+func TestServiceLevelThresholds(t *testing.T) {
+	cfg := ConfigFromProfile(topology.EPYC7302())
+	cases := []struct {
+		ws   units.ByteSize
+		want Level
+	}{
+		{4 * units.KiB, L1},
+		{32 * units.KiB, L1},
+		{33 * units.KiB, L2},
+		{512 * units.KiB, L2},
+		{513 * units.KiB, L3},
+		{16 * units.MiB, L3},
+		{17 * units.MiB, Memory},
+		{units.GiB, Memory},
+	}
+	for _, c := range cases {
+		if got := cfg.ServiceLevel(c.ws); got != c.want {
+			t.Errorf("ServiceLevel(%v) = %v, want %v", c.ws, got, c.want)
+		}
+	}
+}
+
+func TestConfigFromProfiles(t *testing.T) {
+	p9 := topology.EPYC9634()
+	cfg := ConfigFromProfile(p9)
+	if cfg.L1.Size != 64*units.KiB || cfg.L2.Size != units.MiB || cfg.L3.Size != 32*units.MiB {
+		t.Errorf("9634 config = %+v", cfg)
+	}
+	for name, g := range map[string]Geometry{"L1": cfg.L1, "L2": cfg.L2, "L3": cfg.L3} {
+		if err := g.validate(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestLatencyLookup(t *testing.T) {
+	p := topology.EPYC7302()
+	if Latency(p, L1) != units.Nanos(1.24) {
+		t.Errorf("L1 latency = %v", Latency(p, L1))
+	}
+	if Latency(p, L3) != units.Nanos(34.3) {
+		t.Errorf("L3 latency = %v", Latency(p, L3))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Latency(Memory) should panic")
+		}
+	}()
+	Latency(p, Memory)
+}
+
+func TestLevelString(t *testing.T) {
+	if L1.String() != "L1" || Memory.String() != "memory" || Level(9).String() != "level(9)" {
+		t.Error("level names wrong")
+	}
+}
+
+func TestSimCacheLRU(t *testing.T) {
+	// 2 sets x 2 ways x 64 B lines = 256 B cache.
+	c := NewSimCache(Geometry{Size: 256, Ways: 2, Line: 64})
+	// Lines 0 and 2 map to set 0; line 4 also maps to set 0.
+	if c.Access(0) {
+		t.Fatal("cold access should miss")
+	}
+	if !c.Access(0) {
+		t.Fatal("second access should hit")
+	}
+	c.Access(2 * 64) // set 0 now holds lines {2, 0}
+	c.Access(4 * 64) // evicts LRU = line 0
+	if c.Access(0) {
+		t.Fatal("line 0 should have been evicted (LRU)")
+	}
+	if !c.Access(4 * 64) {
+		t.Fatal("line 4 should still be resident")
+	}
+}
+
+func TestSimCacheHitRateMatchesWorkingSet(t *testing.T) {
+	// A working set that fits sees ~100% steady-state hits; one that is
+	// 2x the capacity in a sequential loop sees ~0% (LRU thrashing).
+	g := Geometry{Size: 32 * units.KiB, Ways: 8, Line: 64}
+	fit := NewSimCache(g)
+	lines := int(g.Size / 64)
+	for pass := 0; pass < 4; pass++ {
+		for i := 0; i < lines; i++ {
+			fit.Access(uint64(i * 64))
+		}
+	}
+	if r := fit.HitRate(); r < 0.70 {
+		t.Errorf("fitting working set hit rate = %.2f, want high", r)
+	}
+	thrash := NewSimCache(g)
+	for pass := 0; pass < 4; pass++ {
+		for i := 0; i < 2*lines; i++ {
+			thrash.Access(uint64(i * 64))
+		}
+	}
+	// Sequential sweep over 2x capacity with LRU always evicts just
+	// before reuse.
+	if r := thrash.HitRate(); r > 0.05 {
+		t.Errorf("thrashing working set hit rate = %.2f, want ~0", r)
+	}
+}
+
+func TestSimCacheReset(t *testing.T) {
+	c := NewSimCache(Geometry{Size: 256, Ways: 2, Line: 64})
+	c.Access(0)
+	c.Reset()
+	if c.Hits() != 0 || c.Misses() != 0 {
+		t.Error("Reset left counters")
+	}
+	if c.Access(0) {
+		t.Error("Reset left contents")
+	}
+}
+
+func TestSimCachePanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSimCache(Geometry{Size: 100, Ways: 3, Line: 64})
+}
+
+func TestSimHierarchyInclusive(t *testing.T) {
+	cfg := Config{
+		L1: Geometry{Size: 256, Ways: 2, Line: 64},
+		L2: Geometry{Size: 1024, Ways: 4, Line: 64},
+		L3: Geometry{Size: 4096, Ways: 4, Line: 64},
+	}
+	h := NewSimHierarchy(cfg)
+	if got := h.Access(0); got != Memory {
+		t.Fatalf("cold access served by %v, want memory", got)
+	}
+	if got := h.Access(0); got != L1 {
+		t.Fatalf("hot access served by %v, want L1", got)
+	}
+	// Touch enough lines to evict line 0 from L1 but not L2.
+	for i := 1; i <= 4; i++ {
+		h.Access(uint64(i * 256 * 2)) // all map to L1 set 0
+	}
+	if got := h.Access(0); got == L1 || got == Memory {
+		t.Fatalf("evicted-from-L1 access served by %v, want L2 or L3", got)
+	}
+	h.Reset()
+	if got := h.Access(0); got != Memory {
+		t.Fatalf("post-reset access served by %v", got)
+	}
+}
+
+func TestSimHierarchyAgreesWithAnalyticModel(t *testing.T) {
+	// Pointer-chase over working sets and check the dominant service level
+	// matches Config.ServiceLevel. This validates the analytic shortcut
+	// the latency experiments use.
+	cfg := Config{
+		L1: Geometry{Size: 4 * units.KiB, Ways: 8, Line: 64},
+		L2: Geometry{Size: 32 * units.KiB, Ways: 8, Line: 64},
+		L3: Geometry{Size: 256 * units.KiB, Ways: 16, Line: 64},
+	}
+	rng := sim.NewRNG(5)
+	for _, ws := range []units.ByteSize{2 * units.KiB, 16 * units.KiB, 128 * units.KiB, units.MiB} {
+		h := NewSimHierarchy(cfg)
+		lines := int(ws / 64)
+		perm := rng.Perm(lines)
+		counts := make(map[Level]int)
+		for pass := 0; pass < 6; pass++ {
+			for _, p := range perm {
+				lvl := h.Access(uint64(p * 64))
+				if pass > 1 { // skip warmup
+					counts[lvl]++
+				}
+			}
+		}
+		want := cfg.ServiceLevel(ws)
+		dominant, best := Memory, -1
+		for lvl, n := range counts {
+			if n > best {
+				dominant, best = lvl, n
+			}
+		}
+		if dominant != want {
+			t.Errorf("ws=%v: dominant level %v (counts %v), analytic %v", ws, dominant, counts, want)
+		}
+	}
+}
+
+// Property: hits + misses equals accesses, and hit rate is in [0,1].
+func TestSimCacheCounters(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := NewSimCache(Geometry{Size: 4 * units.KiB, Ways: 4, Line: 64})
+		for _, a := range addrs {
+			c.Access(uint64(a))
+		}
+		total := c.Hits() + c.Misses()
+		return total == uint64(len(addrs)) && c.HitRate() >= 0 && c.HitRate() <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,214 @@
+// Package channels implements the paper's research direction #3: a fused
+// intra-host networking and I/O channel abstraction. Like NetChannel's
+// disaggregated stack, a Stream decouples an application's data movement
+// from any single core or chiplet path: its demand is striped across
+// lanes — core groups on different compute chiplets — and a feedback loop
+// re-divides the demand every epoch based on what each lane actually
+// achieved, "judiciously orchestrating data flows across compute chiplets,
+// I/O chiplets, memory domains, and devices."
+//
+// Two effects follow, both demonstrated in the tests:
+//
+//   - capacity aggregation: one chiplet is GMI-bound (Table 3), but a
+//     stream striped over three chiplets carries their sum;
+//   - interference avoidance: when a lane's chiplet gets busy with
+//     foreign traffic, the stream shifts demand to the lanes with
+//     headroom within a few epochs, holding aggregate throughput.
+package channels
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+	"repro/internal/txn"
+	"repro/internal/units"
+)
+
+// Lane is one striping target: a group of cores (typically one chiplet's)
+// issuing a share of the stream.
+type Lane struct {
+	Name  string
+	Cores []topology.CoreID
+}
+
+// Config describes a striped stream.
+type Config struct {
+	Name string
+	// Op/Kind/UMCs/Modules/DstCCD select the destination exactly as in
+	// traffic.FlowConfig.
+	Op      txn.Op
+	Kind    core.DestKind
+	UMCs    []int
+	Modules []int
+	DstCCD  int
+	// Lanes are the striping targets; at least one.
+	Lanes []Lane
+	// Demand is the stream's aggregate target. Zero runs every lane
+	// closed-loop (maximum capacity aggregation, no rebalancing needed).
+	Demand units.Bandwidth
+	// Epoch is the rebalance period (default 20 us).
+	Epoch units.Time
+}
+
+// Stream is a running striped stream.
+type Stream struct {
+	net   *core.Network
+	cfg   Config
+	flows []*traffic.Flow
+	// alloc is the demand share per lane (bytes/s); meaningful only for
+	// paced streams.
+	alloc []float64
+	// lastBytes snapshots each lane's meter for per-epoch achieved rates.
+	lastBytes []units.ByteSize
+	stopped   bool
+}
+
+// NewStream validates the configuration and builds the lane flows.
+func NewStream(net *core.Network, cfg Config) (*Stream, error) {
+	if len(cfg.Lanes) == 0 {
+		return nil, fmt.Errorf("channels: stream %q has no lanes", cfg.Name)
+	}
+	if cfg.Epoch <= 0 {
+		cfg.Epoch = 20 * units.Microsecond
+	}
+	s := &Stream{net: net, cfg: cfg}
+	per := float64(cfg.Demand) / float64(len(cfg.Lanes))
+	for i, lane := range cfg.Lanes {
+		name := lane.Name
+		if name == "" {
+			name = fmt.Sprintf("%s/lane%d", cfg.Name, i)
+		}
+		f, err := traffic.NewFlow(net, traffic.FlowConfig{
+			Name: name, Cores: lane.Cores, Op: cfg.Op, Kind: cfg.Kind,
+			UMCs: cfg.UMCs, Modules: cfg.Modules, DstCCD: cfg.DstCCD,
+			Demand: units.Bandwidth(per),
+			// A channel bounds its in-flight backlog: unbounded pending
+			// would both hide lane congestion from the rebalancer and
+			// trade unlimited latency for throughput.
+			MaxPending: 64,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("channels: stream %q: %v", cfg.Name, err)
+		}
+		s.flows = append(s.flows, f)
+		s.alloc = append(s.alloc, per)
+		s.lastBytes = append(s.lastBytes, 0)
+	}
+	return s, nil
+}
+
+// MustStream is NewStream for static configurations; it panics on error.
+func MustStream(net *core.Network, cfg Config) *Stream {
+	s, err := NewStream(net, cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return s
+}
+
+// Start begins all lanes and, for paced streams, the rebalance loop.
+func (s *Stream) Start() {
+	for i, f := range s.flows {
+		f.Start()
+		s.lastBytes[i] = f.Meter().Bytes()
+	}
+	if s.cfg.Demand > 0 {
+		s.net.Engine().After(s.cfg.Epoch, s.rebalance)
+	}
+}
+
+// Stop halts every lane and the rebalance loop.
+func (s *Stream) Stop() {
+	s.stopped = true
+	for _, f := range s.flows {
+		f.Stop()
+	}
+}
+
+// Achieved reports the aggregate bandwidth since the lanes' meters were
+// last reset.
+func (s *Stream) Achieved() units.Bandwidth {
+	var total units.Bandwidth
+	for _, f := range s.flows {
+		total += f.Achieved()
+	}
+	return total
+}
+
+// ResetStats clears every lane's meters and histograms.
+func (s *Stream) ResetStats() {
+	for i, f := range s.flows {
+		f.ResetStats()
+		s.lastBytes[i] = 0
+	}
+}
+
+// Lanes reports the per-lane flows (for inspection; do not reconfigure
+// them behind the stream's back).
+func (s *Stream) Lanes() []*traffic.Flow { return s.flows }
+
+// Allocations reports the current per-lane demand division in GB/s.
+func (s *Stream) Allocations() []units.Bandwidth {
+	out := make([]units.Bandwidth, len(s.alloc))
+	for i, a := range s.alloc {
+		out[i] = units.Bandwidth(a)
+	}
+	return out
+}
+
+// rebalance runs one feedback epoch: lanes that fell short of their
+// allocation are treated as constrained and trimmed to what they proved
+// they can carry (plus a probe margin); the freed demand moves to the
+// lanes that met theirs. Aggregate demand is conserved.
+func (s *Stream) rebalance() {
+	if s.stopped {
+		return
+	}
+	n := len(s.flows)
+	achieved := make([]float64, n)
+	for i, f := range s.flows {
+		bytes := f.Meter().Bytes()
+		achieved[i] = float64(units.Rate(bytes-s.lastBytes[i], s.cfg.Epoch))
+		s.lastBytes[i] = bytes
+	}
+	demand := float64(s.cfg.Demand)
+	constrained := make([]bool, n)
+	var freed, unconstrainedCount float64
+	for i := range s.flows {
+		if achieved[i] < s.alloc[i]*0.92 {
+			constrained[i] = true
+			// Keep a 3% probe above the proven rate so recovery is
+			// detected when the interference ends.
+			next := achieved[i] * 1.03
+			freed += s.alloc[i] - next
+			s.alloc[i] = next
+		} else {
+			unconstrainedCount++
+		}
+	}
+	if unconstrainedCount > 0 && freed > 0 {
+		per := freed / unconstrainedCount
+		for i := range s.flows {
+			if !constrained[i] {
+				s.alloc[i] += per
+			}
+		}
+	}
+	// Renormalize drift so allocations always sum to the demand.
+	var sum float64
+	for _, a := range s.alloc {
+		sum += a
+	}
+	if sum > 0 {
+		scale := demand / sum
+		for i := range s.alloc {
+			s.alloc[i] *= scale
+		}
+	}
+	for i, f := range s.flows {
+		f.SetDemand(units.Bandwidth(s.alloc[i]))
+	}
+	s.net.Engine().After(s.cfg.Epoch, s.rebalance)
+}

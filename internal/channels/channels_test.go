@@ -1,0 +1,153 @@
+package channels
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+	"repro/internal/txn"
+	"repro/internal/units"
+)
+
+func ccdLane(p *topology.Profile, ccd, cores int) Lane {
+	l := Lane{Name: ""}
+	for c := 0; c < cores; c++ {
+		l.Cores = append(l.Cores, topology.CoreID{CCD: ccd, Core: c})
+	}
+	return l
+}
+
+func TestStripingAggregatesChipletCeilings(t *testing.T) {
+	// One chiplet is GMI-bound at 35.2 GB/s (Table 3); three lanes carry
+	// ~3x that.
+	p := topology.EPYC9634()
+	eng := sim.New(3)
+	net := core.New(eng, p)
+	single := MustStream(net, Config{
+		Name: "one", Op: txn.Read, Kind: core.DestDRAM,
+		UMCs:  p.UMCSet(topology.NPS1, 0),
+		Lanes: []Lane{ccdLane(p, 0, 7)},
+	})
+	single.Start()
+	eng.RunFor(25 * units.Microsecond)
+	single.ResetStats()
+	eng.RunFor(50 * units.Microsecond)
+	one := single.Achieved().GBpsValue()
+	single.Stop()
+
+	eng2 := sim.New(3)
+	net2 := core.New(eng2, p)
+	striped := MustStream(net2, Config{
+		Name: "three", Op: txn.Read, Kind: core.DestDRAM,
+		UMCs:  p.UMCSet(topology.NPS1, 0),
+		Lanes: []Lane{ccdLane(p, 0, 7), ccdLane(p, 4, 7), ccdLane(p, 8, 7)},
+	})
+	striped.Start()
+	eng2.RunFor(25 * units.Microsecond)
+	striped.ResetStats()
+	eng2.RunFor(50 * units.Microsecond)
+	three := striped.Achieved().GBpsValue()
+
+	if one < 33 || one > 37 {
+		t.Errorf("single-lane stream = %.1f GB/s, want ~35.2 (GMI bound)", one)
+	}
+	if three < 2.7*one {
+		t.Errorf("striped stream = %.1f GB/s, want ~3x the single lane (%.1f)", three, one)
+	}
+}
+
+func TestRebalanceAroundInterference(t *testing.T) {
+	// A paced 60 GB/s stream over three chiplets; then a foreign flow
+	// saturates lane 0's chiplet. The stream must shift demand and hold
+	// its aggregate.
+	p := topology.EPYC9634()
+	eng := sim.New(7)
+	net := core.New(eng, p)
+	// Four cores per lane: plenty for a 20 GB/s share, and it leaves
+	// cores 4..6 of chiplet 0 free for the foreign tenant below.
+	stream := MustStream(net, Config{
+		Name: "s", Op: txn.Read, Kind: core.DestDRAM,
+		UMCs:   p.UMCSet(topology.NPS1, 0),
+		Lanes:  []Lane{ccdLane(p, 0, 4), ccdLane(p, 4, 4), ccdLane(p, 8, 4)},
+		Demand: units.GBps(60),
+	})
+	stream.Start()
+	eng.RunFor(100 * units.Microsecond)
+	stream.ResetStats()
+	eng.RunFor(100 * units.Microsecond)
+	before := stream.Achieved().GBpsValue()
+	if before < 55 || before > 63 {
+		t.Fatalf("undisturbed stream = %.1f GB/s, want ~60", before)
+	}
+
+	// Foreign tenant: the remaining cores of chiplet 0 go full tilt,
+	// squeezing lane 0's GMI share.
+	var foreign []topology.CoreID
+	for c := 4; c < 7; c++ {
+		foreign = append(foreign, topology.CoreID{CCD: 0, Core: c})
+	}
+	f := traffic.MustFlow(net, traffic.FlowConfig{
+		Name: "foreign", Cores: foreign, Op: txn.Read,
+		Kind: core.DestDRAM, UMCs: p.UMCSet(topology.NPS1, 0),
+	})
+	f.Start()
+	eng.RunFor(200 * units.Microsecond) // let rebalancing react
+	stream.ResetStats()
+	eng.RunFor(100 * units.Microsecond)
+	after := stream.Achieved().GBpsValue()
+	if after < before*0.93 {
+		t.Errorf("stream did not hold its aggregate under interference: %.1f -> %.1f GB/s",
+			before, after)
+	}
+	// The shift must be visible in the allocations: lane 0 trimmed, the
+	// others raised above the original 20.
+	allocs := stream.Allocations()
+	if allocs[0].GBpsValue() > 18 {
+		t.Errorf("lane 0 allocation = %v, want trimmed below its initial 20", allocs[0])
+	}
+	if allocs[1].GBpsValue() < 20.5 && allocs[2].GBpsValue() < 20.5 {
+		t.Errorf("no lane absorbed the shifted demand: %v", allocs)
+	}
+}
+
+func TestStreamValidation(t *testing.T) {
+	p := topology.EPYC9634()
+	net := core.New(sim.New(1), p)
+	if _, err := NewStream(net, Config{Name: "x"}); err == nil {
+		t.Error("stream with no lanes should be rejected")
+	}
+	if _, err := NewStream(net, Config{
+		Name: "x", Kind: core.DestDRAM,
+		Lanes: []Lane{ccdLane(p, 0, 2)},
+	}); err == nil {
+		t.Error("lane flow errors must propagate (no UMCs)")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustStream should panic on error")
+		}
+	}()
+	MustStream(net, Config{})
+}
+
+func TestStreamStop(t *testing.T) {
+	p := topology.EPYC9634()
+	eng := sim.New(1)
+	net := core.New(eng, p)
+	s := MustStream(net, Config{
+		Name: "s", Op: txn.Read, Kind: core.DestDRAM,
+		UMCs: p.UMCSet(topology.NPS1, 0), Lanes: []Lane{ccdLane(p, 0, 3)},
+		Demand: units.GBps(10),
+	})
+	s.Start()
+	eng.RunFor(30 * units.Microsecond)
+	s.Stop()
+	eng.RunFor(5 * units.Microsecond)
+	bytes := s.Lanes()[0].Meter().Bytes()
+	eng.RunFor(30 * units.Microsecond)
+	if s.Lanes()[0].Meter().Bytes() != bytes {
+		t.Error("stream kept moving after Stop")
+	}
+}

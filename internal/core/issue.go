@@ -1,0 +1,393 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/link"
+	"repro/internal/topology"
+	"repro/internal/txn"
+	"repro/internal/units"
+)
+
+// DestKind selects a transaction's destination domain.
+type DestKind int
+
+// Destination domains the micro-benchmark utility can target (§3.1:
+// "originating from and destined to compute chiplets, memory domains, and
+// device domains").
+const (
+	// DestDRAM targets a DDR channel behind a UMC.
+	DestDRAM DestKind = iota
+	// DestCXL targets a CXL.mem module behind a P link.
+	DestCXL
+	// DestLLCIntra targets the LLC fabric within the source's own compute
+	// chiplet (Fig 3-a/b traffic).
+	DestLLCIntra
+	// DestLLCInter targets another compute chiplet's LLC through the I/O
+	// die (Fig 3-c traffic).
+	DestLLCInter
+)
+
+var destKindNames = [...]string{"dram", "cxl", "llc-intra", "llc-inter"}
+
+func (k DestKind) String() string {
+	if k < 0 || int(k) >= len(destKindNames) {
+		return fmt.Sprintf("dest(%d)", int(k))
+	}
+	return destKindNames[k]
+}
+
+// Access describes one transaction to issue.
+type Access struct {
+	Src    topology.CoreID
+	Op     txn.Op
+	Kind   DestKind
+	UMC    int // DestDRAM: target memory channel
+	Module int // DestCXL: target module
+	DstCCD int // DestLLCInter: target chiplet
+}
+
+// destEndpoint resolves the transaction-layer endpoint of an access.
+func (a Access) destEndpoint(p *topology.Profile) txn.Endpoint {
+	switch a.Kind {
+	case DestDRAM:
+		return txn.DRAMEP(a.UMC)
+	case DestCXL:
+		return txn.CXLEP(a.Module)
+	case DestLLCIntra:
+		// The peer complex on the same chiplet (the 9634 has only one
+		// CCX per CCD, so the "peer" is the complex itself).
+		peer := (a.Src.CCX + 1) % p.CCXPerCCD()
+		return txn.LLCEP(topology.CCXID{CCD: a.Src.CCD, CCX: peer})
+	case DestLLCInter:
+		return txn.LLCEP(topology.CCXID{CCD: a.DstCCD, CCX: 0})
+	default:
+		panic(fmt.Sprintf("core: unknown destination kind %d", int(a.Kind)))
+	}
+}
+
+// Issue runs one transaction through the network: it acquires the
+// hardware traffic-control tokens, walks the request across every link on
+// the path (consuming bandwidth and experiencing queueing at each), and
+// invokes done with the completed transaction. extraTokens, if non-nil,
+// are flow-level injection windows acquired before the hardware pools
+// (the adaptive controllers of §3.5 live there).
+func (n *Network) Issue(a Access, extraTokens []*link.TokenPool, done func(*txn.Transaction)) {
+	n.nextID++
+	t := &txn.Transaction{
+		ID:   n.nextID,
+		Op:   a.Op,
+		Size: units.CacheLine,
+		Flow: txn.Flow{
+			Src: txn.CoreEP(a.Src),
+			Dst: a.destEndpoint(n.prof),
+		},
+	}
+	hw := n.poolsFor(a)
+	acquireAll(extraTokens, 0, func() {
+		// Latency is measured from here: it includes waiting on the
+		// hardware traffic-control tokens (the paper's loaded-latency
+		// curves include those stalls — that is what the Table 2 "Max
+		// CCX Q" rows are), but not time spent queued behind a software
+		// flow window.
+		t.Issued = n.eng.Now()
+		acquireAll(hw, 0, func() {
+			finish := func() {
+				t.Completed = n.eng.Now()
+				for i := len(hw) - 1; i >= 0; i-- {
+					hw[i].Release()
+				}
+				for i := len(extraTokens) - 1; i >= 0; i-- {
+					extraTokens[i].Release()
+				}
+				n.matrix.Record(t.Flow.Src.String(), t.Flow.Dst.String(), t.Size)
+				if done != nil {
+					done(t)
+				}
+			}
+			n.run(a, finish)
+		})
+	})
+}
+
+// run dispatches the access to its path walker.
+func (n *Network) run(a Access, finish func()) {
+	switch a.Kind {
+	case DestDRAM:
+		n.runDRAM(a, finish)
+	case DestCXL:
+		n.runCXL(a, finish)
+	case DestLLCIntra:
+		n.runLLCIntra(a, finish)
+	case DestLLCInter:
+		n.runLLCInter(a, finish)
+	}
+}
+
+// WindowFor reports the per-core hardware window (outstanding-request
+// budget) that gates the given operation and destination: the natural
+// closed-loop chain count per core.
+func (n *Network) WindowFor(op txn.Op, kind DestKind) int {
+	p := n.prof
+	switch kind {
+	case DestDRAM:
+		if op == txn.NTWrite {
+			return p.CoreWriteWCBs
+		}
+		return p.CoreReadMSHRs
+	case DestCXL:
+		if op == txn.NTWrite {
+			return p.CoreCXLWrites
+		}
+		return p.CoreCXLReads
+	default:
+		return p.CoreLLCWindow
+	}
+}
+
+// poolsFor reports the hardware token pools an access must hold, in the
+// global acquisition order (core window, CCX, CCD, device credits) that
+// keeps the token graph deadlock-free.
+func (n *Network) poolsFor(a Access) []*link.TokenPool {
+	idx := n.coreIndex(a.Src)
+	var pools []*link.TokenPool
+	switch a.Kind {
+	case DestDRAM:
+		if a.Op == txn.NTWrite {
+			pools = append(pools, n.writeWCBs[idx])
+		} else {
+			pools = append(pools, n.readMSHRs[idx])
+		}
+		pools = append(pools, n.ccxTokens[a.Src.CCD*n.prof.CCXPerCCD()+a.Src.CCX])
+		if n.ccdTokens != nil {
+			pools = append(pools, n.ccdTokens[a.Src.CCD])
+		}
+	case DestCXL:
+		if a.Op == txn.NTWrite {
+			pools = append(pools, n.cxlWrites[idx], n.devWrite[a.Src.CCD])
+		} else {
+			pools = append(pools, n.cxlReads[idx], n.devRead[a.Src.CCD])
+		}
+	case DestLLCIntra, DestLLCInter:
+		pools = append(pools, n.llcWindow[idx])
+		if a.Kind == DestLLCInter {
+			pools = append(pools, n.ccxTokens[a.Src.CCD*n.prof.CCXPerCCD()+a.Src.CCX])
+		}
+	}
+	return pools
+}
+
+// acquireAll acquires pools[i:] in order, then runs fn.
+func acquireAll(pools []*link.TokenPool, i int, fn func()) {
+	if i >= len(pools) {
+		fn()
+		return
+	}
+	pools[i].Acquire(func() { acquireAll(pools, i+1, fn) })
+}
+
+// SendWithRetry sends on a bounded channel, retrying after a jittered
+// service quantum when backpressured. The retry cadence is what makes
+// admission arrival-proportional: a sender that wants more bandwidth has
+// more messages in the retry pool, so it wins more freed slots — the
+// sender-driven aggressive partitioning of §3.5. Exported so composing
+// subsystems (the NUMA fabric, accelerator models) inherit the same
+// admission behaviour.
+func (n *Network) SendWithRetry(ch *link.Channel, size units.ByteSize, extra units.Time, then func()) {
+	n.pushWithRetry(ch, size, extra, then)
+}
+
+func (n *Network) pushWithRetry(ch *link.Channel, size units.ByteSize, extra units.Time, then func()) {
+	var attempt func()
+	attempt = func() {
+		if ch.TrySendAfter(size, extra, then) {
+			return
+		}
+		// Retry after about one service quantum of the blocked message
+		// itself: a cacheline probes every couple of nanoseconds, a bulk
+		// DMA chunk only as often as the link could actually drain it.
+		quantum := ch.Capacity().TimeToSend(size)
+		if floor := ch.Capacity().TimeToSend(units.CacheLine); quantum < floor {
+			quantum = floor
+		}
+		if quantum <= 0 {
+			quantum = units.Nanosecond
+		}
+		backoff := quantum/2 + units.Time(n.eng.Rand().Int63n(int64(quantum)+1))
+		n.eng.After(backoff, attempt)
+	}
+	attempt()
+}
+
+// runDRAM walks a memory transaction: CCM -> GMI -> switch hops -> CS ->
+// UMC -> DRAM, response back through the NoC and GMI (Fig 2's path).
+func (n *Network) runDRAM(a Access, finish func()) {
+	p := n.prof
+	ccd := a.Src.CCD
+	dram := n.drams[a.UMC]
+	hopExtra := n.noc.MemoryHopDelay(ccd, a.UMC) + p.CSLatency
+	switch a.Op {
+	case txn.Read, txn.Write:
+		// A temporal write is a read-for-ownership: the line is fetched
+		// like a read; the dirty writeback happens asynchronously later.
+		n.eng.After(p.CacheMissBase, func() {
+			n.pushWithRetry(n.gmiOut[ccd], p.ReadRequestSize, 0, func() {
+				n.pushWithRetry(n.noc.Write, p.ReadRequestSize, hopExtra, func() {
+					n.eng.After(dram.AccessTime(), func() {
+						dram.Read.Send(units.CacheLine, func() {
+							n.noc.Read.Send(units.CacheLine, func() {
+								n.gmiIn[ccd].Send(units.CacheLine, func() {
+									if a.Op == txn.Write {
+										n.writebackDRAM(a)
+									}
+									finish()
+								})
+							})
+						})
+					})
+				})
+			})
+		})
+	case txn.NTWrite:
+		n.eng.After(p.CacheMissBase, func() {
+			n.pushWithRetry(n.gmiOut[ccd], units.CacheLine, 0, func() {
+				n.pushWithRetry(n.noc.Write, units.CacheLine, hopExtra, func() {
+					dram.Write.Send(units.CacheLine, func() {
+						n.eng.After(dram.AccessTime(), func() {
+							n.noc.Read.Send(p.WriteAckSize, func() {
+								n.gmiIn[ccd].Send(p.WriteAckSize, finish)
+							})
+						})
+					})
+				})
+			})
+		})
+	}
+}
+
+// writebackDRAM models the asynchronous dirty-line eviction a temporal
+// write eventually causes: it consumes write-path bandwidth but completes
+// nobody.
+func (n *Network) writebackDRAM(a Access) {
+	p := n.prof
+	ccd := a.Src.CCD
+	dram := n.drams[a.UMC]
+	hopExtra := n.noc.MemoryHopDelay(ccd, a.UMC) + p.CSLatency
+	n.pushWithRetry(n.gmiOut[ccd], units.CacheLine, 0, func() {
+		n.pushWithRetry(n.noc.Write, units.CacheLine, hopExtra, func() {
+			dram.Write.Send(units.CacheLine, nil)
+		})
+	})
+}
+
+// runCXL walks a device transaction: CCM -> GMI -> switch hops -> I/O hub
+// -> root complex -> P link -> CXL module, riding 68 B flits on the CXL
+// leg (§3.2's device path; Table 2's 243 ns row).
+func (n *Network) runCXL(a Access, finish func()) {
+	p := n.prof
+	ccd := a.Src.CCD
+	mod := n.cxls[a.Module]
+	hubExtra := n.noc.IOHopDelay(ccd) + p.IOHubLatency + p.RootComplexLatency
+	switch a.Op {
+	case txn.Read, txn.Write:
+		n.eng.After(p.CacheMissBase, func() {
+			n.pushWithRetry(n.gmiOut[ccd], p.ReadRequestSize, 0, func() {
+				n.pushWithRetry(n.noc.Write, p.ReadRequestSize, hubExtra, func() {
+					n.pushWithRetry(mod.Write, p.ReadRequestSize, p.PLinkLatency, func() {
+						n.eng.After(mod.AccessTime(), func() {
+							mod.Read.Send(mod.FlitSize(units.CacheLine), func() {
+								n.noc.Read.Send(units.CacheLine, func() {
+									n.gmiIn[ccd].Send(units.CacheLine, finish)
+								})
+							})
+						})
+					})
+				})
+			})
+		})
+	case txn.NTWrite:
+		n.eng.After(p.CacheMissBase, func() {
+			n.pushWithRetry(n.gmiOut[ccd], units.CacheLine, 0, func() {
+				n.pushWithRetry(n.noc.Write, units.CacheLine, hubExtra, func() {
+					n.pushWithRetry(mod.Write, mod.FlitSize(units.CacheLine), p.PLinkLatency, func() {
+						n.eng.After(mod.AccessTime(), func() {
+							mod.Read.Send(p.WriteAckSize, func() {
+								n.noc.Read.Send(p.WriteAckSize, func() {
+									n.gmiIn[ccd].Send(p.WriteAckSize, finish)
+								})
+							})
+						})
+					})
+				})
+			})
+		})
+	}
+}
+
+// runLLCIntra walks a cache-to-cache transfer within one compute chiplet.
+func (n *Network) runLLCIntra(a Access, finish func()) {
+	p := n.prof
+	ccd := a.Src.CCD
+	extra := p.IntraCCLatency + n.llcJitter.Sample()
+	switch a.Op {
+	case txn.Read, txn.Write:
+		n.pushWithRetry(n.intraOut[ccd], p.ReadRequestSize, extra, func() {
+			n.intraIn[ccd].Send(units.CacheLine, finish)
+		})
+	case txn.NTWrite:
+		n.pushWithRetry(n.intraOut[ccd], units.CacheLine, extra, func() {
+			n.intraIn[ccd].Send(p.WriteAckSize, finish)
+		})
+	}
+}
+
+// runLLCInter walks a cache-to-cache transfer between compute chiplets:
+// out through the source GMI, across the I/O die, into the target chiplet,
+// and back. Requests and responses ride opposite GMI directions on both
+// chiplets, which is why the paper sees inter-CC interference only at much
+// higher aggregate bandwidth ("the I/O chiplet provisions more than one
+// routing path").
+func (n *Network) runLLCInter(a Access, finish func()) {
+	p := n.prof
+	src, dst := a.Src.CCD, a.DstCCD
+	// The deterministic latency budget beyond the explicitly modelled legs
+	// (GMI crossings and the remote LLC lookup), plus coherence jitter.
+	extra := p.InterCCLatency - p.CacheMissBase - 2*p.GMILinkLatency - p.L3Latency
+	if extra < 0 {
+		extra = 0
+	}
+	extra += n.llcJitter.Sample()
+	respond := func(size units.ByteSize) {
+		n.gmiOut[dst].Send(size, func() {
+			n.noc.Read.Send(size, func() {
+				n.gmiIn[src].Send(size, finish)
+			})
+		})
+	}
+	switch a.Op {
+	case txn.Read, txn.Write:
+		n.eng.After(p.CacheMissBase, func() {
+			n.pushWithRetry(n.gmiOut[src], p.ReadRequestSize, 0, func() {
+				n.pushWithRetry(n.noc.Write, p.ReadRequestSize, extra, func() {
+					n.gmiIn[dst].Send(p.ReadRequestSize, func() {
+						n.eng.After(p.L3Latency, func() {
+							respond(units.CacheLine)
+						})
+					})
+				})
+			})
+		})
+	case txn.NTWrite:
+		n.eng.After(p.CacheMissBase, func() {
+			n.pushWithRetry(n.gmiOut[src], units.CacheLine, 0, func() {
+				n.pushWithRetry(n.noc.Write, units.CacheLine, extra, func() {
+					n.gmiIn[dst].Send(units.CacheLine, func() {
+						n.eng.After(p.L3Latency, func() {
+							respond(p.WriteAckSize)
+						})
+					})
+				})
+			})
+		})
+	}
+}

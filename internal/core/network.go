@@ -1,0 +1,222 @@
+// Package core implements server chiplet networking: it assembles the
+// topology, link, mesh, cache and memory-system substrates into an
+// executable model of a chiplet server's intra-host network, and exposes
+// the measurement API the experiments are built on.
+//
+// A Network owns, per the paper's Figure 1/2 architecture:
+//
+//   - per-compute-chiplet Infinity Fabric bundles (intra-CC directions)
+//     and GMI bundles (to/from the I/O die);
+//   - the I/O die NoC (aggregate routing capacity + switch-hop delays);
+//   - unified memory controllers with DDR channels, and CXL modules
+//     behind the I/O hub, root complex and P links;
+//   - the hardware token pools of the compute chiplet's traffic-control
+//     module (per-CCX, per-CCD, per-core MSHR/WCB windows, per-CCD device
+//     credits).
+//
+// Transactions issued through Issue traverse the same sequence of
+// micro-architectural modules the paper describes in §3.2 (CCM, switch
+// hops, CS/I/O hub, UMC or CXL device), consuming directional link
+// bandwidth at every leg, so the four idiosyncrasies — extended data
+// paths, heterogeneous bandwidth domains, inconsistent BDP, and
+// sender-driven aggressive partitioning — all emerge from the same
+// mechanisms the hardware exhibits.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/link"
+	"repro/internal/memsys"
+	"repro/internal/mesh"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+)
+
+// Network is one chiplet server SoC's intra-host network.
+type Network struct {
+	eng  *sim.Engine
+	prof *topology.Profile
+
+	noc   *mesh.NoC
+	drams []*memsys.DRAMChannel
+	cxls  []*memsys.CXLModule
+
+	// Per-CCD link bundles. "In" carries data toward the cores (read
+	// responses, write acks), "Out" carries data away (write data, read
+	// requests).
+	gmiIn    []*link.Channel
+	gmiOut   []*link.Channel
+	intraIn  []*link.Channel
+	intraOut []*link.Channel
+
+	// Hardware traffic-control pools (§3.2).
+	ccxTokens []*link.TokenPool // per CCX: index ccd*CCXPerCCD+ccx
+	ccdTokens []*link.TokenPool // per CCD; nil when the profile has none
+	devRead   []*link.TokenPool // per CCD, device-bound read credits
+	devWrite  []*link.TokenPool // per CCD, device-bound write credits
+
+	// Per-core MSHR/WCB windows, indexed by linear core id.
+	readMSHRs []*link.TokenPool
+	writeWCBs []*link.TokenPool
+	llcWindow []*link.TokenPool
+	cxlReads  []*link.TokenPool
+	cxlWrites []*link.TokenPool
+
+	// llcJitter perturbs cache-to-cache transfers: snoop collisions and
+	// coherence-directory variance give the IF latency distribution its
+	// tail (Fig 3-a reports a 490 ns P999 at a 144.5 ns average).
+	llcJitter *memsys.Jitter
+
+	matrix *telemetry.TrafficMatrix
+	nextID uint64
+}
+
+// New assembles a network for the profile. It panics if the profile fails
+// validation — a network built from a broken profile would silently
+// produce garbage measurements.
+func New(eng *sim.Engine, prof *topology.Profile) *Network {
+	if err := prof.Validate(); err != nil {
+		panic(err.Error())
+	}
+	n := &Network{
+		eng:  eng,
+		prof: prof,
+		noc:  mesh.New(eng, prof),
+		llcJitter: memsys.NewJitter(eng.Rand(), prof.DRAMJitterMean,
+			prof.TailSpikeProb, prof.TailSpikeDelay),
+		matrix: telemetry.NewTrafficMatrix(),
+	}
+	for u := 0; u < prof.UMCChannels; u++ {
+		n.drams = append(n.drams, memsys.NewDRAMChannel(eng, prof, u))
+	}
+	for m := 0; m < prof.CXLModules; m++ {
+		n.cxls = append(n.cxls, memsys.NewCXLModule(eng, prof, m))
+	}
+	for c := 0; c < prof.CCDs; c++ {
+		name := fmt.Sprintf("ccd%d", c)
+		n.gmiIn = append(n.gmiIn, link.NewChannel(eng, name+"/gmi/in",
+			prof.GMIReadCap, 0, 0))
+		n.gmiOut = append(n.gmiOut, link.NewChannel(eng, name+"/gmi/out",
+			prof.GMIWriteCap, prof.GMILinkLatency, prof.GMIWriteQueue))
+		n.intraIn = append(n.intraIn, link.NewChannel(eng, name+"/if/in",
+			prof.IntraCCReadCap, 0, 0))
+		n.intraOut = append(n.intraOut, link.NewChannel(eng, name+"/if/out",
+			prof.IntraCCWriteCap, 0, prof.IntraCCWriteQueue))
+		if prof.CCDTokens > 0 {
+			n.ccdTokens = append(n.ccdTokens, link.NewTokenPool(eng,
+				name+"/tokens", prof.CCDTokens))
+		}
+		if prof.CXLModules > 0 {
+			n.devRead = append(n.devRead, link.NewTokenPool(eng,
+				name+"/devcrd/rd", prof.CCDDevReadCrd))
+			n.devWrite = append(n.devWrite, link.NewTokenPool(eng,
+				name+"/devcrd/wr", prof.CCDDevWriteCrd))
+		}
+	}
+	for x := 0; x < prof.CCXs; x++ {
+		n.ccxTokens = append(n.ccxTokens, link.NewTokenPool(eng,
+			fmt.Sprintf("ccx%d/tokens", x), prof.CCXTokens))
+	}
+	for c := 0; c < prof.Cores; c++ {
+		name := fmt.Sprintf("core%d", c)
+		n.readMSHRs = append(n.readMSHRs, link.NewTokenPool(eng, name+"/mshr", prof.CoreReadMSHRs))
+		n.writeWCBs = append(n.writeWCBs, link.NewTokenPool(eng, name+"/wcb", prof.CoreWriteWCBs))
+		n.llcWindow = append(n.llcWindow, link.NewTokenPool(eng, name+"/llcwin", prof.CoreLLCWindow))
+		if prof.CXLModules > 0 {
+			n.cxlReads = append(n.cxlReads, link.NewTokenPool(eng, name+"/cxlrd", prof.CoreCXLReads))
+			n.cxlWrites = append(n.cxlWrites, link.NewTokenPool(eng, name+"/cxlwr", prof.CoreCXLWrites))
+		}
+	}
+	return n
+}
+
+// Engine reports the simulation engine driving the network.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Profile reports the platform profile the network was built from.
+func (n *Network) Profile() *topology.Profile { return n.prof }
+
+// Matrix reports the network's source/destination traffic matrix.
+func (n *Network) Matrix() *telemetry.TrafficMatrix { return n.matrix }
+
+// DRAM reports memory channel umc.
+func (n *Network) DRAM(umc int) *memsys.DRAMChannel { return n.drams[umc] }
+
+// CXLModule reports CXL module m.
+func (n *Network) CXLModule(m int) *memsys.CXLModule { return n.cxls[m] }
+
+// NoC reports the I/O die routing fabric.
+func (n *Network) NoC() *mesh.NoC { return n.noc }
+
+// GMIIn and GMIOut report the per-chiplet GMI channel directions.
+func (n *Network) GMIIn(ccd int) *link.Channel  { return n.gmiIn[ccd] }
+func (n *Network) GMIOut(ccd int) *link.Channel { return n.gmiOut[ccd] }
+
+// IntraIn and IntraOut report the per-chiplet intra-CC fabric directions.
+func (n *Network) IntraIn(ccd int) *link.Channel  { return n.intraIn[ccd] }
+func (n *Network) IntraOut(ccd int) *link.Channel { return n.intraOut[ccd] }
+
+// CCXTokens reports the token pool of a core complex.
+func (n *Network) CCXTokens(id topology.CCXID) *link.TokenPool {
+	return n.ccxTokens[id.CCD*n.prof.CCXPerCCD()+id.CCX]
+}
+
+// CCDTokens reports the per-chiplet token pool, nil when the platform has
+// no second token stage (EPYC 9634).
+func (n *Network) CCDTokens(ccd int) *link.TokenPool {
+	if n.ccdTokens == nil {
+		return nil
+	}
+	return n.ccdTokens[ccd]
+}
+
+// coreIndex flattens a CoreID to a linear index.
+func (n *Network) coreIndex(id topology.CoreID) int {
+	return id.CCD*n.prof.CoresPerCCD() + id.CCX*n.prof.CoresPerCCX() + id.Core
+}
+
+// ReadMSHRs reports a core's demand-read window pool.
+func (n *Network) ReadMSHRs(id topology.CoreID) *link.TokenPool {
+	return n.readMSHRs[n.coreIndex(id)]
+}
+
+// WriteWCBs reports a core's write-combining buffer pool.
+func (n *Network) WriteWCBs(id topology.CoreID) *link.TokenPool {
+	return n.writeWCBs[n.coreIndex(id)]
+}
+
+// Channels returns every directional channel in the network, for
+// telemetry export (the /proc/chiplet-net view of research direction #1).
+func (n *Network) Channels() []*link.Channel {
+	var chs []*link.Channel
+	chs = append(chs, n.noc.Read, n.noc.Write)
+	for c := 0; c < n.prof.CCDs; c++ {
+		chs = append(chs, n.gmiIn[c], n.gmiOut[c], n.intraIn[c], n.intraOut[c])
+	}
+	for _, d := range n.drams {
+		chs = append(chs, d.Read, d.Write)
+	}
+	for _, m := range n.cxls {
+		chs = append(chs, m.Read, m.Write)
+	}
+	return chs
+}
+
+// ResetStats clears every channel and pool statistic, leaving in-flight
+// state intact: experiments call it after warmup.
+func (n *Network) ResetStats() {
+	for _, ch := range n.Channels() {
+		ch.ResetStats()
+	}
+	pools := [][]*link.TokenPool{
+		n.ccxTokens, n.ccdTokens, n.devRead, n.devWrite,
+		n.readMSHRs, n.writeWCBs, n.llcWindow, n.cxlReads, n.cxlWrites,
+	}
+	for _, ps := range pools {
+		for _, p := range ps {
+			p.ResetStats()
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package devtree
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+	"repro/internal/txn"
+	"repro/internal/units"
+)
+
+func TestNodeBasics(t *testing.T) {
+	n := NewNode("root")
+	n.Set("a", "1").Setf("b", "x=%d", 2)
+	child := n.Add(NewNode("child@0"))
+	child.Set("c", "3")
+	if n.Find("child@0") != child {
+		t.Error("Find failed")
+	}
+	if n.Find("nope") != nil {
+		t.Error("Find should return nil for missing children")
+	}
+	var visited []string
+	n.Walk(func(depth int, node *Node) {
+		visited = append(visited, node.Name)
+	})
+	if len(visited) != 2 || visited[0] != "root" || visited[1] != "child@0" {
+		t.Errorf("Walk order = %v", visited)
+	}
+	s := n.Render()
+	for _, want := range []string{"root {", `a = "1";`, `b = "x=2";`, "child@0 {", "};"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestFromProfileStructure(t *testing.T) {
+	for _, p := range topology.Profiles() {
+		root := FromProfile(p)
+		ccds := 0
+		cores := 0
+		umcs := 0
+		cxls := 0
+		root.Walk(func(_ int, n *Node) {
+			switch {
+			case strings.HasPrefix(n.Name, "compute-chiplet@"):
+				ccds++
+			case strings.HasPrefix(n.Name, "core@"):
+				cores++
+			case strings.HasPrefix(n.Name, "umc@"):
+				umcs++
+			case strings.HasPrefix(n.Name, "cxl@"):
+				cxls++
+			}
+		})
+		if ccds != p.CCDs {
+			t.Errorf("%s: %d compute chiplets, want %d", p.Name, ccds, p.CCDs)
+		}
+		if cores != p.Cores {
+			t.Errorf("%s: %d cores, want %d", p.Name, cores, p.Cores)
+		}
+		if umcs != p.UMCChannels {
+			t.Errorf("%s: %d umcs, want %d", p.Name, umcs, p.UMCChannels)
+		}
+		if cxls != p.CXLModules {
+			t.Errorf("%s: %d cxl nodes, want %d", p.Name, cxls, p.CXLModules)
+		}
+		if root.Props["compatible"] != p.Name {
+			t.Errorf("%s: compatible = %q", p.Name, root.Props["compatible"])
+		}
+	}
+}
+
+func TestFromProfileRendersKeyFacts(t *testing.T) {
+	s := FromProfile(topology.EPYC9634()).Render()
+	for _, want := range []string{
+		"io-chiplet@0", "switch-hop-latency", "4ns",
+		"cxl@3", "flit", "68B", "pcie", "Gen5 x128",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("device tree missing %q", want)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	root := FromProfile(topology.EPYC7302())
+	data, err := root.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Node
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != root.Name || len(back.Children) != len(root.Children) {
+		t.Error("JSON round trip lost structure")
+	}
+}
+
+func TestTelemetryView(t *testing.T) {
+	eng := sim.New(1)
+	p := topology.EPYC7302()
+	net := core.New(eng, p)
+	f := traffic.MustFlow(net, traffic.FlowConfig{
+		Name: "t", Op: txn.Read, Kind: core.DestDRAM, UMCs: []int{0},
+		Cores: []topology.CoreID{{}},
+	})
+	f.Start()
+	eng.RunFor(20 * units.Microsecond)
+	s := Telemetry(net)
+	for _, want := range []string{"/proc/chiplet-net", "EPYC 7302", "umc0/rd", "noc/rd", "ccd0/gmi/in"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("telemetry missing %q", want)
+		}
+	}
+	// The exercised UMC must show non-zero traffic.
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "umc0/rd") && strings.Contains(line, " 0B ") {
+			t.Errorf("umc0/rd shows no bytes: %s", line)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package harness
+
+import (
+	"repro/internal/numa"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+	"repro/internal/txn"
+	"repro/internal/units"
+
+	icore "repro/internal/core"
+)
+
+// A3Result compares local and remote-socket memory on the dual-socket
+// Dell 7525 model: one more tier in the "network of heterogeneous
+// networks", with its own latency step and bandwidth ceiling (xGMI).
+type A3Result struct {
+	Tier    string
+	Latency units.Time
+	ReadBW  units.Bandwidth
+	Ceiling string
+}
+
+// AblationNUMA measures the local and remote memory tiers of a two-socket
+// EPYC 7302 system: unloaded pointer-chase latency and the whole-socket
+// read ceiling of each tier.
+func AblationNUMA(opt Options) ([]A3Result, error) {
+	// Local tier: one socket of the pair, near channel.
+	sys := numa.NewSystem(sim.New(opt.Seed), numa.DefaultDual7302())
+	p := sys.Socket(0).Profile()
+
+	localLat := chaseLocal(sys, 1000)
+	remoteLat := chaseRemote(sys, 1000)
+
+	localBW := socketReadBW(opt)
+	remoteBW := remoteReadBW(opt)
+
+	return []A3Result{
+		{Tier: "local DRAM (near)", Latency: localLat, ReadBW: localBW,
+			Ceiling: "NoC routing (" + p.NoCReadCap.String() + ")"},
+		{Tier: "remote DRAM (xGMI)", Latency: remoteLat, ReadBW: remoteBW,
+			Ceiling: "xGMI link (37GB/s)"},
+	}, nil
+}
+
+func chaseLocal(sys *numa.System, count int) units.Time {
+	var h telemetry.Histogram
+	done := 0
+	var step func()
+	step = func() {
+		sys.Socket(0).Issue(icore.Access{Op: txn.Read, Kind: icore.DestDRAM, UMC: 0}, nil,
+			func(t *txn.Transaction) {
+				h.Record(t.Latency())
+				done++
+				if done < count {
+					step()
+				}
+			})
+	}
+	step()
+	sys.Engine().Run()
+	return h.Mean()
+}
+
+func chaseRemote(sys *numa.System, count int) units.Time {
+	var h telemetry.Histogram
+	done := 0
+	var step func()
+	step = func() {
+		sys.IssueRemote(0, topology.CoreID{}, txn.Read, 0, func(t *txn.Transaction) {
+			h.Record(t.Latency())
+			done++
+			if done < count {
+				step()
+			}
+		})
+	}
+	step()
+	sys.Engine().Run()
+	return h.Mean()
+}
+
+func socketReadBW(opt Options) units.Bandwidth {
+	p := topology.EPYC7302()
+	net := opt.newNet(p)
+	f := traffic.MustFlow(net, traffic.FlowConfig{
+		Name: "local", Cores: allCores(p), Op: txn.Read,
+		Kind: icore.DestDRAM, UMCs: p.UMCSet(topology.NPS1, 0),
+	})
+	f.Start()
+	net.Engine().RunFor(opt.scale(25 * units.Microsecond))
+	f.ResetStats()
+	net.Engine().RunFor(opt.scale(50 * units.Microsecond))
+	return f.Achieved()
+}
+
+func remoteReadBW(opt Options) units.Bandwidth {
+	sys := numa.NewSystem(sim.New(opt.Seed), numa.DefaultDual7302())
+	p := sys.Socket(0).Profile()
+	umcs := p.UMCSet(topology.NPS1, 0)
+	var meter telemetry.Meter
+	n := 0
+	var loop func(src topology.CoreID)
+	loop = func(src topology.CoreID) {
+		sys.IssueRemote(0, src, txn.Read, umcs[n%len(umcs)], func(t *txn.Transaction) {
+			meter.Record(t.Size)
+			n++
+			loop(src)
+		})
+	}
+	for _, src := range allCores(p) {
+		for k := 0; k < p.CoreReadMSHRs; k++ {
+			loop(src)
+		}
+	}
+	sys.Engine().RunFor(opt.scale(20 * units.Microsecond))
+	meter.Reset(sys.Engine().Now())
+	sys.Engine().RunFor(opt.scale(50 * units.Microsecond))
+	return meter.Rate(sys.Engine().Now())
+}
+
+// RenderA3 renders the NUMA tier ablation.
+func RenderA3(rows []A3Result) string {
+	out := [][]string{{"Tier", "Latency (ns)", "Socket read (GB/s)", "Binding ceiling"}}
+	for _, r := range rows {
+		out = append(out, []string{r.Tier, ns(r.Latency), gb(r.ReadBW), r.Ceiling})
+	}
+	return "Ablation A3 — dual-socket (2x EPYC 7302): local vs remote memory tier\n" +
+		renderTable(out)
+}
+
+// A4Result is one CXL flit-framing configuration's cost: §2.3 notes CXL
+// FLITs come in 68 B and 256 B variants; for 64 B cacheline traffic the
+// framing sets the payload efficiency of the P link.
+type A4Result struct {
+	FlitSize units.ByteSize
+	Latency  units.Time
+	CPURead  units.Bandwidth
+}
+
+// AblationCXLFlit re-runs the CXL latency and whole-CPU bandwidth
+// measurements under 68 B and 256 B flit framing on the 9634. The CPU
+// scale is P-link-bound, so framing efficiency shows directly: a 64 B
+// cacheline occupies a full flit either way, and 256 B flits quarter the
+// payload rate of random cacheline traffic.
+func AblationCXLFlit(opt Options) ([]A4Result, error) {
+	var out []A4Result
+	for _, flit := range []units.ByteSize{68, 256} {
+		p := topology.EPYC9634()
+		p.CXLFlitSize = flit
+
+		net := icore.New(sim.New(opt.Seed), p)
+		h, err := traffic.RunPointerChase(net, traffic.ChaseConfig{
+			WorkingSet: units.GiB, CXL: true, Modules: allModules(p), Count: 1500,
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		net = icore.New(sim.New(opt.Seed), p)
+		f := traffic.MustFlow(net, traffic.FlowConfig{
+			Name: "flit", Cores: allCores(p), Op: txn.Read,
+			Kind: icore.DestCXL, Modules: allModules(p),
+		})
+		f.Start()
+		net.Engine().RunFor(opt.scale(25 * units.Microsecond))
+		f.ResetStats()
+		net.Engine().RunFor(opt.scale(50 * units.Microsecond))
+
+		out = append(out, A4Result{FlitSize: flit, Latency: h.Mean(), CPURead: f.Achieved()})
+	}
+	return out, nil
+}
+
+// RenderA4 renders the flit-framing ablation.
+func RenderA4(rows []A4Result) string {
+	out := [][]string{{"Flit", "Latency (ns)", "CPU CXL read (GB/s)"}}
+	for _, r := range rows {
+		out = append(out, []string{r.FlitSize.String(), ns(r.Latency), gb(r.CPURead)})
+	}
+	return "Ablation A4 — CXL flit framing (EPYC 9634): 68B vs 256B flits for cacheline traffic\n" +
+		renderTable(out)
+}

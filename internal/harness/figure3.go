@@ -1,0 +1,173 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+	"repro/internal/traffic"
+	"repro/internal/txn"
+	"repro/internal/units"
+
+	icore "repro/internal/core"
+)
+
+// LoadPoint is one point of a latency-versus-load curve.
+type LoadPoint struct {
+	Offered  units.Bandwidth
+	Achieved units.Bandwidth
+	Avg      units.Time
+	P999     units.Time
+}
+
+// Figure3Panel is one panel of the paper's Figure 3: a link scenario with
+// a read and a write latency-load curve.
+type Figure3Panel struct {
+	ID       string // "a".."f", matching the paper's panels
+	Profile  string
+	Scenario string
+	Read     []LoadPoint
+	Write    []LoadPoint
+}
+
+// fig3Scenario describes how to drive one panel.
+type fig3Scenario struct {
+	id, label string
+	prof      func() *topology.Profile
+	kind      icore.DestKind
+	cores     func(*topology.Profile) []topology.CoreID
+	umcs      func(*topology.Profile) []int
+	modules   func(*topology.Profile) []int
+	dstCCD    int
+}
+
+// fig3Scenarios lists the paper's six panels. The 7302's intra-CC fabric
+// is over-provisioned (hence panel a's flat curves), while the 9634's
+// seven-core chiplet can oversubscribe its own fabric (panel b's knee).
+func fig3Scenarios() []fig3Scenario {
+	return []fig3Scenario{
+		{id: "a", label: "IF CC0->CC0", prof: topology.EPYC7302,
+			kind: icore.DestLLCIntra, cores: func(p *topology.Profile) []topology.CoreID { return ccdCores(p, 0) }},
+		{id: "b", label: "IF CC0->CC0", prof: topology.EPYC9634,
+			kind: icore.DestLLCIntra, cores: func(p *topology.Profile) []topology.CoreID { return ccdCores(p, 0) }},
+		{id: "c", label: "IF CC0->CC1", prof: topology.EPYC7302,
+			kind: icore.DestLLCInter, dstCCD: 1,
+			cores: func(p *topology.Profile) []topology.CoreID { return ccdCores(p, 0) }},
+		{id: "d", label: "GMI (CC0->DIMMs)", prof: topology.EPYC7302,
+			kind:  icore.DestDRAM,
+			cores: func(p *topology.Profile) []topology.CoreID { return ccdCores(p, 0) },
+			umcs:  func(p *topology.Profile) []int { return p.UMCSet(topology.NPS4, 0) }},
+		{id: "e", label: "GMI (CC0->DIMMs)", prof: topology.EPYC9634,
+			kind:  icore.DestDRAM,
+			cores: func(p *topology.Profile) []topology.CoreID { return ccdCores(p, 0) },
+			umcs:  func(p *topology.Profile) []int { return p.UMCSet(topology.NPS4, 0) }},
+		{id: "f", label: "P Link/CXL (CC0->CXL0)", prof: topology.EPYC9634,
+			kind:    icore.DestCXL,
+			cores:   func(p *topology.Profile) []topology.CoreID { return ccdCores(p, 0) },
+			modules: func(p *topology.Profile) []int { return []int{0} }},
+	}
+}
+
+// Figure3 regenerates every panel of the paper's Figure 3: average and
+// P999 latency as the offered load sweeps from idle to the link's maximum,
+// for sequential reads and non-temporal writes.
+func Figure3(opt Options) ([]Figure3Panel, error) {
+	var panels []Figure3Panel
+	for _, sc := range fig3Scenarios() {
+		panel, err := figure3Panel(sc, opt)
+		if err != nil {
+			return nil, err
+		}
+		panels = append(panels, *panel)
+	}
+	return panels, nil
+}
+
+func figure3Panel(sc fig3Scenario, opt Options) (*Figure3Panel, error) {
+	p := sc.prof()
+	panel := &Figure3Panel{ID: sc.id, Profile: p.Name, Scenario: sc.label}
+	for _, op := range []txn.Op{txn.Read, txn.NTWrite} {
+		pts, err := figure3Curve(sc, p, op, opt)
+		if err != nil {
+			return nil, err
+		}
+		if op == txn.Read {
+			panel.Read = pts
+		} else {
+			panel.Write = pts
+		}
+	}
+	return panel, nil
+}
+
+func figure3Curve(sc fig3Scenario, p *topology.Profile, op txn.Op, opt Options) ([]LoadPoint, error) {
+	base := traffic.FlowConfig{
+		Name: "fig3", Cores: sc.cores(p), Op: op, Kind: sc.kind, DstCCD: sc.dstCCD,
+	}
+	if sc.umcs != nil {
+		base.UMCs = sc.umcs(p)
+	}
+	if sc.modules != nil {
+		base.Modules = sc.modules(p)
+	}
+
+	// Find the closed-loop maximum first; the sweep targets fractions of
+	// it, exactly like NOP-density tuning does on hardware.
+	max, err := figure3Measure(p, base, 0, opt)
+	if err != nil {
+		return nil, err
+	}
+	var pts []LoadPoint
+	for _, frac := range []float64{0.1, 0.25, 0.4, 0.55, 0.7, 0.8, 0.9, 0.97} {
+		demand := units.Bandwidth(float64(max.Achieved) * frac)
+		cfg := base
+		cfg.Jitter = true
+		pt, err := figure3Measure(p, cfg, demand, opt)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, *pt)
+	}
+	// The final point is the closed-loop maximum itself — zero NOPs on
+	// hardware: cores self-clock on completions, so the latency reflects
+	// the network's queues rather than an unbounded issue backlog.
+	pts = append(pts, LoadPoint{
+		Offered: max.Achieved, Achieved: max.Achieved,
+		Avg: max.Avg, P999: max.P999,
+	})
+	return pts, nil
+}
+
+func figure3Measure(p *topology.Profile, cfg traffic.FlowConfig, demand units.Bandwidth, opt Options) (*LoadPoint, error) {
+	net := opt.newNet(p)
+	cfg.Demand = demand
+	f, err := traffic.NewFlow(net, cfg)
+	if err != nil {
+		return nil, err
+	}
+	f.Start()
+	net.Engine().RunFor(opt.scale(40 * units.Microsecond))
+	f.ResetStats()
+	net.Engine().RunFor(opt.scale(120 * units.Microsecond))
+	return &LoadPoint{
+		Offered:  demand,
+		Achieved: f.Achieved(),
+		Avg:      f.Latency().Mean(),
+		P999:     f.Latency().P999(),
+	}, nil
+}
+
+// RenderFigure3 renders the panels as text series.
+func RenderFigure3(panels []Figure3Panel) string {
+	out := ""
+	for _, panel := range panels {
+		rows := [][]string{{"Op", "Offered (GB/s)", "Achieved (GB/s)", "Avg (ns)", "P999 (ns)"}}
+		for _, pt := range panel.Read {
+			rows = append(rows, []string{"read", gb(pt.Offered), gb(pt.Achieved), ns(pt.Avg), ns(pt.P999)})
+		}
+		for _, pt := range panel.Write {
+			rows = append(rows, []string{"write", gb(pt.Offered), gb(pt.Achieved), ns(pt.Avg), ns(pt.P999)})
+		}
+		out += fmt.Sprintf("Figure 3-%s — %s, %s\n%s\n", panel.ID, panel.Scenario, panel.Profile, renderTable(rows))
+	}
+	return out
+}

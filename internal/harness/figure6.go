@@ -1,0 +1,169 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+	"repro/internal/traffic"
+	"repro/internal/txn"
+	"repro/internal/units"
+
+	icore "repro/internal/core"
+)
+
+// Fig6Point is one sample of a read/write interference sweep: the
+// background flow's offered and achieved bandwidth and the frontend
+// stream's achieved bandwidth at that load.
+type Fig6Point struct {
+	BgOffered  units.Bandwidth
+	BgAchieved units.Bandwidth
+	Front      units.Bandwidth
+}
+
+// Fig6Curve is one (link, frontend-op, background-op) interference curve
+// on the EPYC 9634 — one of the paper's Figure 6 series.
+type Fig6Curve struct {
+	Link    string
+	FrontOp txn.Op
+	BgOp    txn.Op
+	// Solo is the frontend's bandwidth with no background traffic.
+	Solo   units.Bandwidth
+	Points []Fig6Point
+}
+
+// fig6Setting wires the front/background flows for one link panel.
+type fig6Setting struct {
+	link  string
+	front func(p *topology.Profile, op txn.Op) traffic.FlowConfig
+	bg    func(p *topology.Profile, op txn.Op) traffic.FlowConfig
+	// maxBg approximates the background's direction capacity, setting the
+	// sweep range.
+	maxBg units.Bandwidth
+}
+
+func fig6Settings() []fig6Setting {
+	return []fig6Setting{
+		{
+			link: "IF (intra-CC)",
+			front: func(p *topology.Profile, op txn.Op) traffic.FlowConfig {
+				return traffic.FlowConfig{Name: "X", Cores: ccdCores(p, 0)[:4],
+					Op: op, Kind: icore.DestLLCIntra}
+			},
+			bg: func(p *topology.Profile, op txn.Op) traffic.FlowConfig {
+				return traffic.FlowConfig{Name: "Y", Cores: ccdCores(p, 0)[4:7],
+					Op: op, Kind: icore.DestLLCIntra, Jitter: true}
+			},
+			maxBg: units.GBps(33),
+		},
+		{
+			link: "GMI",
+			front: func(p *topology.Profile, op txn.Op) traffic.FlowConfig {
+				return traffic.FlowConfig{Name: "X", Cores: ccdCores(p, 0)[:4],
+					Op: op, Kind: icore.DestDRAM, UMCs: p.UMCSet(topology.NPS4, 0)}
+			},
+			bg: func(p *topology.Profile, op txn.Op) traffic.FlowConfig {
+				return traffic.FlowConfig{Name: "Y", Cores: ccdCores(p, 0)[4:7],
+					Op: op, Kind: icore.DestDRAM, UMCs: p.UMCSet(topology.NPS4, 0), Jitter: true}
+			},
+			maxBg: units.GBps(35.2),
+		},
+		{
+			link: "P Link/CXL",
+			front: func(p *topology.Profile, op txn.Op) traffic.FlowConfig {
+				return traffic.FlowConfig{Name: "X", Cores: ccdCores(p, 2)[:4],
+					Op: op, Kind: icore.DestCXL, Modules: []int{0}}
+			},
+			bg: func(p *topology.Profile, op txn.Op) traffic.FlowConfig {
+				return traffic.FlowConfig{Name: "Y", Cores: ccdCores(p, 3)[:4],
+					Op: op, Kind: icore.DestCXL, Modules: []int{0}, Jitter: true}
+			},
+			maxBg: units.GBps(22),
+		},
+	}
+}
+
+// Figure6 reproduces the paper's Figure 6 on the EPYC 9634: a frontend
+// stream X runs at max rate while a background stream Y sweeps its load;
+// X's achieved bandwidth is reported per (X op, Y op) mix. Interference
+// appears only when a directional link saturates, and background writes
+// barely disturb reads — write acks are small.
+func Figure6(opt Options) ([]Fig6Curve, error) {
+	p := topology.EPYC9634()
+	var curves []Fig6Curve
+	for _, setting := range fig6Settings() {
+		for _, frontOp := range []txn.Op{txn.Read, txn.NTWrite} {
+			for _, bgOp := range []txn.Op{txn.Read, txn.NTWrite} {
+				c, err := figure6Curve(p, setting, frontOp, bgOp, opt)
+				if err != nil {
+					return nil, err
+				}
+				curves = append(curves, *c)
+			}
+		}
+	}
+	return curves, nil
+}
+
+// Figure6Curve runs a single (link, ops) sweep; tests use it to probe one
+// cell without the full grid.
+func Figure6Curve(link string, frontOp, bgOp txn.Op, opt Options) (*Fig6Curve, error) {
+	for _, setting := range fig6Settings() {
+		if setting.link == link {
+			return figure6Curve(topology.EPYC9634(), setting, frontOp, bgOp, opt)
+		}
+	}
+	return nil, fmt.Errorf("harness: unknown figure-6 link %q", link)
+}
+
+func figure6Curve(p *topology.Profile, setting fig6Setting, frontOp, bgOp txn.Op, opt Options) (*Fig6Curve, error) {
+	curve := &Fig6Curve{Link: setting.link, FrontOp: frontOp, BgOp: bgOp}
+	fracs := []float64{0, 0.25, 0.5, 0.7, 0.85, 1.0}
+	for _, frac := range fracs {
+		net := opt.newNet(p)
+		front, err := traffic.NewFlow(net, setting.front(p, frontOp))
+		if err != nil {
+			return nil, err
+		}
+		var bg *traffic.Flow
+		offered := units.Bandwidth(float64(setting.maxBg) * frac)
+		if frac > 0 {
+			cfg := setting.bg(p, bgOp)
+			cfg.Demand = offered
+			bg, err = traffic.NewFlow(net, cfg)
+			if err != nil {
+				return nil, err
+			}
+			bg.Start()
+		}
+		front.Start()
+		net.Engine().RunFor(opt.scale(40 * units.Microsecond))
+		front.ResetStats()
+		if bg != nil {
+			bg.ResetStats()
+		}
+		net.Engine().RunFor(opt.scale(80 * units.Microsecond))
+		pt := Fig6Point{BgOffered: offered, Front: front.Achieved()}
+		if bg != nil {
+			pt.BgAchieved = bg.Achieved()
+		}
+		if frac == 0 {
+			curve.Solo = pt.Front
+		}
+		curve.Points = append(curve.Points, pt)
+	}
+	return curve, nil
+}
+
+// RenderFigure6 renders the interference curves as text.
+func RenderFigure6(curves []Fig6Curve) string {
+	out := ""
+	for _, c := range curves {
+		rows := [][]string{{"Y offered (GB/s)", "Y achieved (GB/s)", "X achieved (GB/s)"}}
+		for _, pt := range c.Points {
+			rows = append(rows, []string{gb(pt.BgOffered), gb(pt.BgAchieved), gb(pt.Front)})
+		}
+		out += fmt.Sprintf("Figure 6 — %s: frontend %v vs background %v (EPYC 9634)\n%s\n",
+			c.Link, c.FrontOp, c.BgOp, renderTable(rows))
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Table1Row is one specification row of the paper's Table 1.
+type Table1Row struct {
+	Parameter string
+	V7302     string
+	V9634     string
+}
+
+// Table1 renders the hardware specifications of both evaluated processors
+// from the platform profiles (the paper's Table 1). It is a consistency
+// check that the profiles encode the paper's platforms, not a measurement.
+func Table1() []Table1Row {
+	p7, p9 := topology.EPYC7302(), topology.EPYC9634()
+	row := func(param string, f func(*topology.Profile) string) Table1Row {
+		return Table1Row{Parameter: param, V7302: f(p7), V9634: f(p9)}
+	}
+	return []Table1Row{
+		row("Microarchitecture", func(p *topology.Profile) string { return p.Microarch }),
+		row("L1 (per core)", func(p *topology.Profile) string { return p.L1PerCore.String() }),
+		row("L2 (per core)", func(p *topology.Profile) string { return p.L2PerCore.String() }),
+		row("L3 (per CPU)", func(p *topology.Profile) string { return p.L3PerCPU.String() }),
+		row("Core#/CCX#/CCD# (per CPU)", func(p *topology.Profile) string {
+			return fmt.Sprintf("%d/%d/%d", p.Cores, p.CCXs, p.CCDs)
+		}),
+		row("Compute Chiplets # (per CPU)", func(p *topology.Profile) string {
+			return fmt.Sprintf("%d", p.CCDs)
+		}),
+		row("Process technology (Compute Die)", func(p *topology.Profile) string { return p.ComputeNode }),
+		row("I/O Chiplets # (per CPU)", func(p *topology.Profile) string { return "1" }),
+		row("Process technology (I/O Die)", func(p *topology.Profile) string { return p.IONode }),
+		row("PCIe Gen/Lane #", func(p *topology.Profile) string {
+			return fmt.Sprintf("Gen%d/%d", p.PCIeGen, p.PCIeLanes)
+		}),
+		row("Base/Turbo Frequency", func(p *topology.Profile) string {
+			return fmt.Sprintf("%g/%g GHz", p.BaseFreqGHz, p.TurboGHz)
+		}),
+		row("Memory channels", func(p *topology.Profile) string {
+			return fmt.Sprintf("%d", p.UMCChannels)
+		}),
+		row("CXL modules", func(p *topology.Profile) string {
+			return fmt.Sprintf("%d", p.CXLModules)
+		}),
+	}
+}
+
+// RenderTable1 renders Table 1 as text.
+func RenderTable1(rows []Table1Row) string {
+	out := [][]string{{"Parameter", "EPYC 7302", "EPYC 9634"}}
+	for _, r := range rows {
+		out = append(out, []string{r.Parameter, r.V7302, r.V9634})
+	}
+	return renderTable(out)
+}

@@ -1,0 +1,160 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+	"repro/internal/traffic"
+	"repro/internal/txn"
+	"repro/internal/units"
+
+	icore "repro/internal/core"
+)
+
+// Table2Row is one latency-breakdown row: a measured value next to the
+// paper's reported value ("-" when the paper reports N/A).
+type Table2Row struct {
+	Section  string
+	Name     string
+	Measured units.Time
+	Paper    units.Time
+	NA       bool
+}
+
+// Table2Result is the data-path latency breakdown of one platform.
+type Table2Result struct {
+	Profile string
+	Rows    []Table2Row
+}
+
+// paperTable2 holds the paper's Table 2 values in nanoseconds.
+var paperTable2 = map[string]map[string]float64{
+	"EPYC 7302": {
+		"L1": 1.24, "L2": 5.66, "L3": 34.3,
+		"Max CCX Q": 30, "Max CCD Q": 20,
+		"Switching Hop": 8, "I/O Hub": 15,
+		"Near": 124, "Vertical": 131, "Horizontal": 141, "Diagonal": 145,
+	},
+	"EPYC 9634": {
+		"L1": 1.19, "L2": 7.51, "L3": 40.8,
+		"Max CCX Q":     20,
+		"Switching Hop": 4, "I/O Hub": 15,
+		"Near": 141, "Vertical": 145, "Horizontal": 150, "Diagonal": 149,
+		"CXL DIMM": 243,
+	},
+}
+
+// Table2 reproduces the paper's Table 2 for one platform: pointer-chase
+// latencies per cache tier and DIMM position, the token-queue ceilings of
+// the intra-chiplet traffic control module, and the per-hop costs of the
+// I/O chiplet.
+func Table2(p *topology.Profile, opt Options) (*Table2Result, error) {
+	paper := paperTable2[p.Name]
+	res := &Table2Result{Profile: p.Name}
+	add := func(section, name string, v units.Time) {
+		ref, ok := paper[name]
+		res.Rows = append(res.Rows, Table2Row{
+			Section: section, Name: name, Measured: v,
+			Paper: units.Nanos(ref), NA: !ok,
+		})
+	}
+
+	// Cache tiers: pointer-chase with working sets inside each tier.
+	chase := func(ws units.ByteSize, umcs []int, cxl bool, mods []int) (units.Time, error) {
+		net := opt.newNet(p)
+		h, err := traffic.RunPointerChase(net, traffic.ChaseConfig{
+			WorkingSet: ws, UMCs: umcs, CXL: cxl, Modules: mods, Count: 2000,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return h.Mean(), nil
+	}
+	for _, tier := range []struct {
+		name string
+		ws   units.ByteSize
+	}{
+		{"L1", p.L1PerCore / 2},
+		{"L2", p.L2PerCore / 2 * 3 / 2}, // between L1 and L2 capacity
+		{"L3", p.L3PerCCX() / 2},
+	} {
+		v, err := chase(tier.ws, nil, false, nil)
+		if err != nil {
+			return nil, err
+		}
+		add("Compute Chiplet", tier.name, v)
+	}
+
+	// Token-queue ceilings: saturate one chiplet's read path and read the
+	// pools' typical waiting time.
+	{
+		net := opt.newNet(p)
+		f := traffic.MustFlow(net, traffic.FlowConfig{
+			Name: "sat", Cores: ccdCores(p, 0), Op: txn.Read,
+			Kind: icore.DestDRAM, UMCs: p.UMCSet(topology.NPS1, 0),
+		})
+		f.Start()
+		net.Engine().RunFor(opt.scale(20 * units.Microsecond))
+		ccx := net.CCXTokens(topology.CCXID{CCD: 0, CCX: 0})
+		ccx.ResetStats()
+		var ccd = net.CCDTokens(0)
+		if ccd != nil {
+			ccd.ResetStats()
+		}
+		net.Engine().RunFor(opt.scale(50 * units.Microsecond))
+		add("Compute Chiplet", "Max CCX Q", ccx.WaitPercentile(95))
+		if ccd != nil {
+			add("Compute Chiplet", "Max CCD Q", ccd.WaitPercentile(95))
+		}
+	}
+
+	// DIMM positions.
+	positions := map[topology.Position]string{
+		topology.Near: "Near", topology.Vertical: "Vertical",
+		topology.Horizontal: "Horizontal", topology.Diagonal: "Diagonal",
+	}
+	measured := map[string]units.Time{}
+	for _, pos := range topology.Positions() {
+		umc, ok := p.UMCAtPosition(0, pos)
+		if !ok {
+			return nil, fmt.Errorf("harness: %s has no %v channel", p.Name, pos)
+		}
+		v, err := chase(units.GiB, []int{umc}, false, nil)
+		if err != nil {
+			return nil, err
+		}
+		measured[positions[pos]] = v
+	}
+
+	// I/O chiplet rows, derived the way the paper derived them: a switch
+	// hop is the vertical-vs-near gradient; the I/O hub cost comes from
+	// the device-path decomposition.
+	add("I/O Chiplet", "Switching Hop", measured["Vertical"]-measured["Near"])
+	add("I/O Chiplet", "I/O Hub", p.IOHubLatency)
+
+	for _, name := range []string{"Near", "Vertical", "Horizontal", "Diagonal"} {
+		add("Memory/Device", name, measured[name])
+	}
+
+	if p.CXLModules > 0 {
+		v, err := chase(units.GiB, nil, true, allModules(p))
+		if err != nil {
+			return nil, err
+		}
+		add("Memory/Device", "CXL DIMM", v)
+	}
+	return res, nil
+}
+
+// Render renders the result as text, with the paper's values alongside.
+func (r *Table2Result) Render() string {
+	rows := [][]string{{"Section", "Component", "Measured (ns)", "Paper (ns)"}}
+	for _, row := range r.Rows {
+		ref := ns(row.Paper)
+		if row.NA {
+			ref = "-"
+		}
+		rows = append(rows, []string{row.Section, row.Name, ns(row.Measured), ref})
+	}
+	return "Table 2 — data path latency breakdown (" + r.Profile + ")\n" + renderTable(rows)
+}

@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"repro/internal/topology"
+	"repro/internal/traffic"
+	"repro/internal/txn"
+	"repro/internal/units"
+
+	icore "repro/internal/core"
+)
+
+// Table3Row is one maximum-bandwidth row: a traffic scope (core, CCX, CCD,
+// whole CPU) against one memory domain.
+type Table3Row struct {
+	Scope      string
+	Domain     string // "DIMM" or "CXL"
+	Read       units.Bandwidth
+	Write      units.Bandwidth
+	PaperRead  units.Bandwidth
+	PaperWrite units.Bandwidth
+	NA         bool
+}
+
+// Table3Result is the maximum-bandwidth table of one platform.
+type Table3Result struct {
+	Profile string
+	Rows    []Table3Row
+}
+
+// paperTable3 holds the paper's Table 3 values: scope -> [read, write] in
+// GB/s, keyed by domain.
+var paperTable3 = map[string]map[string]map[string][2]float64{
+	"EPYC 7302": {
+		"DIMM": {
+			"Core": {14.9, 3.6}, "CCX": {25.1, 7.1},
+			"CCD": {32.5, 14.3}, "CPU": {106.7, 55.1},
+		},
+	},
+	"EPYC 9634": {
+		"DIMM": {
+			"Core": {14.6, 3.3}, "CCX": {35.2, 23.8},
+			"CCD": {33.2, 23.6}, "CPU": {366.2, 270.6},
+		},
+		"CXL": {
+			"Core": {5.4, 2.8}, "CCX": {23.6, 15.8},
+			"CCD": {25.0, 15.0}, "CPU": {88.1, 87.7},
+		},
+	},
+}
+
+// Table3 reproduces the paper's Table 3: the maximum achieved bandwidth
+// from one core, one CCX, one CCD and the whole CPU to the DIMMs (and to
+// the CXL modules where present), using closed-loop reads and non-temporal
+// writes — "we issue as many memory accesses as possible".
+func Table3(p *topology.Profile, opt Options) *Table3Result {
+	res := &Table3Result{Profile: p.Name}
+	scopes := []struct {
+		name  string
+		cores []topology.CoreID
+	}{
+		{"Core", firstCores(p, 1)},
+		{"CCX", firstCores(p, p.CoresPerCCX())},
+		{"CCD", ccdCores(p, 0)},
+		{"CPU", allCores(p)},
+	}
+	run := func(cores []topology.CoreID, op txn.Op, kind icore.DestKind) units.Bandwidth {
+		net := opt.newNet(p)
+		cfg := traffic.FlowConfig{
+			Name: "max", Cores: cores, Op: op, Kind: kind,
+			UMCs: p.UMCSet(topology.NPS1, 0), Modules: allModules(p),
+		}
+		f := traffic.MustFlow(net, cfg)
+		f.Start()
+		net.Engine().RunFor(opt.scale(25 * units.Microsecond))
+		f.ResetStats()
+		net.Engine().RunFor(opt.scale(50 * units.Microsecond))
+		return f.Achieved()
+	}
+	paper := paperTable3[p.Name]
+	for _, domain := range []string{"DIMM", "CXL"} {
+		if domain == "CXL" && p.CXLModules == 0 {
+			continue
+		}
+		kind := icore.DestDRAM
+		if domain == "CXL" {
+			kind = icore.DestCXL
+		}
+		for _, sc := range scopes {
+			row := Table3Row{Scope: sc.name, Domain: domain,
+				Read:  run(sc.cores, txn.Read, kind),
+				Write: run(sc.cores, txn.NTWrite, kind),
+			}
+			if ref, ok := paper[domain][sc.name]; ok {
+				row.PaperRead = units.GBps(ref[0])
+				row.PaperWrite = units.GBps(ref[1])
+			} else {
+				row.NA = true
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res
+}
+
+// Render renders the result as text.
+func (r *Table3Result) Render() string {
+	rows := [][]string{{"Scope", "Domain", "Read (GB/s)", "Write (GB/s)", "Paper R", "Paper W"}}
+	for _, row := range r.Rows {
+		pr, pw := gb(row.PaperRead), gb(row.PaperWrite)
+		if row.NA {
+			pr, pw = "-", "-"
+		}
+		rows = append(rows, []string{
+			"From " + row.Scope, row.Domain, gb(row.Read), gb(row.Write), pr, pw,
+		})
+	}
+	return "Table 3 — maximum achieved bandwidth (" + r.Profile + ")\n" + renderTable(rows)
+}

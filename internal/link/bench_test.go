@@ -1,0 +1,51 @@
+package link
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func BenchmarkChannelTrySend(b *testing.B) {
+	eng := sim.New(1)
+	ch := NewChannel(eng, "bench", units.GBps(64), 0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.TrySend(units.CacheLine, nil)
+		// Drain periodically so the calendar stays small.
+		if i%1024 == 1023 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}
+
+func BenchmarkChannelSaturated(b *testing.B) {
+	eng := sim.New(1)
+	ch := NewChannel(eng, "bench", units.GBps(32), 0, 64)
+	delivered := 0
+	var pump func()
+	pump = func() {
+		for ch.TrySend(units.CacheLine, func() { delivered++ }) {
+		}
+		eng.After(2*units.Nanosecond, pump)
+	}
+	eng.After(0, pump)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}
+
+func BenchmarkTokenPoolAcquireRelease(b *testing.B) {
+	eng := sim.New(1)
+	p := NewTokenPool(eng, "bench", 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Acquire(func() {})
+		p.Release()
+	}
+}

@@ -1,0 +1,184 @@
+// Package link models the physical and data-link layers of server chiplet
+// networking: serialized directional channels with finite capacity and
+// bounded queues (Infinity Fabric, GMI, UMC, NoC aggregate, P link), plus
+// the token pools that implement the compute chiplet's queueless traffic
+// control module.
+//
+// Two mechanisms in this package produce most of the paper's findings:
+//
+//   - A Channel serializes messages FIFO at a fixed byte rate with a
+//     bounded queue. Senders that hit a full queue are refused and retry
+//     at their own pace, so admission is proportional to arrival pressure —
+//     this is exactly the "sender-driven aggressive bandwidth partitioning"
+//     of §3.5: no intermediate point knows what a flow is or wants.
+//   - A TokenPool caps outstanding requests per core complex or chiplet
+//     (§3.2's phantom-queue-like structure); waiting for a token is the
+//     "Max CCX Q"/"Max CCD Q" delay of Table 2.
+package link
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+// Channel is one direction of one interconnect link: a FIFO serializer
+// with finite bandwidth, propagation latency, and a bounded queue.
+type Channel struct {
+	eng      *sim.Engine
+	name     string
+	capacity units.Bandwidth // serialization rate; 0 = infinitely fast
+	latency  units.Time      // propagation delay after serialization
+	depth    int             // max messages queued or in service; 0 = unbounded
+
+	queued   int        // messages accepted but not yet fully serialized
+	nextFree units.Time // when the serializer finishes its current backlog
+
+	refused  uint64 // sends refused due to a full queue (backpressure events)
+	busy     units.Time
+	meter    telemetry.Meter
+	queueLat telemetry.Histogram // time from accept to start of service
+}
+
+// NewChannel builds a channel. name appears in telemetry and the device
+// tree; capacity 0 means infinitely fast; depth 0 means unbounded.
+func NewChannel(eng *sim.Engine, name string, capacity units.Bandwidth, latency units.Time, depth int) *Channel {
+	if eng == nil {
+		panic("link: nil engine")
+	}
+	if depth < 0 {
+		panic(fmt.Sprintf("link: %s: negative queue depth", name))
+	}
+	return &Channel{eng: eng, name: name, capacity: capacity, latency: latency, depth: depth}
+}
+
+// Name reports the channel's telemetry name.
+func (c *Channel) Name() string { return c.name }
+
+// Capacity reports the serialization rate.
+func (c *Channel) Capacity() units.Bandwidth { return c.capacity }
+
+// Depth reports the queue bound (0 = unbounded).
+func (c *Channel) Depth() int { return c.depth }
+
+// Queued reports the messages currently accepted but not fully serialized.
+func (c *Channel) Queued() int { return c.queued }
+
+// TrySend attempts to enqueue a message of the given size. If the queue is
+// full it reports false and the message is NOT accepted — the caller owns
+// the retry (paced sources retry at their demand rate, which is what makes
+// bandwidth partitioning arrival-proportional). On acceptance, deliver is
+// invoked when the message has fully serialized and propagated.
+func (c *Channel) TrySend(size units.ByteSize, deliver func()) bool {
+	return c.TrySendAfter(size, 0, deliver)
+}
+
+// TrySendAfter is TrySend with a per-message additional propagation delay,
+// used for routes whose mesh hop count varies by destination.
+func (c *Channel) TrySendAfter(size units.ByteSize, extra units.Time, deliver func()) bool {
+	if c.depth > 0 && c.queued >= c.depth {
+		c.refused++
+		return false
+	}
+	c.queued++
+	now := c.eng.Now()
+	start := now
+	if c.nextFree > start {
+		start = c.nextFree
+	}
+	txTime := c.capacity.TimeToSend(size)
+	done := start + txTime
+	c.nextFree = done
+	c.busy += txTime
+	c.queueLat.Record(start - now)
+	c.meter.Record(size)
+	c.eng.At(done, func() {
+		c.queued--
+	})
+	if deliver != nil {
+		c.eng.At(done+c.latency+extra, deliver)
+	}
+	return true
+}
+
+// Send enqueues unconditionally, ignoring the queue bound. It is used for
+// responses and acks, which in hardware ride reserved virtual channels so
+// they cannot deadlock behind requests.
+func (c *Channel) Send(size units.ByteSize, deliver func()) {
+	c.SendAfter(size, 0, deliver)
+}
+
+// SendAfter is Send with a per-message additional propagation delay.
+func (c *Channel) SendAfter(size units.ByteSize, extra units.Time, deliver func()) {
+	saved := c.depth
+	c.depth = 0
+	c.TrySendAfter(size, extra, deliver)
+	c.depth = saved
+}
+
+// QueueDelay reports how long a message accepted now would wait before
+// starting service: the current backlog of the serializer.
+func (c *Channel) QueueDelay() units.Time {
+	if d := c.nextFree - c.eng.Now(); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Saturated reports whether the queue is at least the given fraction full.
+// Flow controllers use it as their congestion signal.
+func (c *Channel) Saturated(frac float64) bool {
+	if c.depth == 0 {
+		return false
+	}
+	return float64(c.queued) >= frac*float64(c.depth)
+}
+
+// Refused reports how many sends were refused by backpressure.
+func (c *Channel) Refused() uint64 { return c.refused }
+
+// Stats is a snapshot of a channel's counters for telemetry export.
+type Stats struct {
+	Name         string
+	Capacity     units.Bandwidth
+	Bytes        units.ByteSize
+	Messages     uint64
+	Refused      uint64
+	BusyTime     units.Time
+	MeanQueueing units.Time
+	P999Queueing units.Time
+}
+
+// Stats snapshots the channel counters.
+func (c *Channel) Stats() Stats {
+	return Stats{
+		Name:         c.name,
+		Capacity:     c.capacity,
+		Bytes:        c.meter.Bytes(),
+		Messages:     c.meter.Ops(),
+		Refused:      c.refused,
+		BusyTime:     c.busy,
+		MeanQueueing: c.queueLat.Mean(),
+		P999Queueing: c.queueLat.P999(),
+	}
+}
+
+// Utilization reports the fraction of the window [0, now] the serializer
+// spent busy.
+func (c *Channel) Utilization() float64 {
+	now := c.eng.Now()
+	if now <= 0 {
+		return 0
+	}
+	return float64(c.busy) / float64(now)
+}
+
+// ResetStats clears counters without disturbing in-flight messages.
+func (c *Channel) ResetStats() {
+	c.refused = 0
+	c.busy = 0
+	c.meter.Reset(c.eng.Now())
+	c.queueLat.Reset()
+}

@@ -1,0 +1,141 @@
+package link
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+// TokenPool models the compute chiplet's queueless traffic-control module
+// (§3.2): a fixed budget of outstanding-request tokens with FIFO wakeup.
+// Requests that find no token wait; the wait duration is the queueing
+// delay the paper reports as "Max CCX Q" / "Max CCD Q" in Table 2.
+//
+// A TokenPool is also the injection window of a flow: the adaptive
+// controllers in internal/core resize pools to model the slow bandwidth
+// harvesting of Fig 5.
+type TokenPool struct {
+	eng      *sim.Engine
+	name     string
+	capacity int
+	inUse    int
+	waiters  []waiter
+	waitHist telemetry.Histogram
+	maxWait  units.Time
+}
+
+type waiter struct {
+	since units.Time
+	fn    func()
+}
+
+// NewTokenPool builds a pool with the given capacity. Capacity must be
+// positive.
+func NewTokenPool(eng *sim.Engine, name string, capacity int) *TokenPool {
+	if eng == nil {
+		panic("link: nil engine")
+	}
+	if capacity <= 0 {
+		panic(fmt.Sprintf("link: %s: non-positive token capacity", name))
+	}
+	return &TokenPool{eng: eng, name: name, capacity: capacity}
+}
+
+// Name reports the pool's telemetry name.
+func (p *TokenPool) Name() string { return p.name }
+
+// Capacity reports the configured token budget.
+func (p *TokenPool) Capacity() int { return p.capacity }
+
+// InUse reports tokens currently held.
+func (p *TokenPool) InUse() int { return p.inUse }
+
+// Waiting reports acquirers currently blocked.
+func (p *TokenPool) Waiting() int { return len(p.waiters) }
+
+// free reports grantable tokens. It can be negative transiently after a
+// shrink, which simply blocks grants until holders drain.
+func (p *TokenPool) free() int { return p.capacity - p.inUse }
+
+// Acquire grants a token to fn: immediately when one is free and nobody is
+// queued ahead, otherwise when a holder releases (FIFO). Wait times are
+// recorded; an immediate grant records a zero wait.
+func (p *TokenPool) Acquire(fn func()) {
+	if p.free() > 0 && len(p.waiters) == 0 {
+		p.inUse++
+		p.waitHist.Record(0)
+		fn()
+		return
+	}
+	p.waiters = append(p.waiters, waiter{since: p.eng.Now(), fn: fn})
+}
+
+// TryAcquire grants a token only if one is immediately free, reporting
+// success. It never queues.
+func (p *TokenPool) TryAcquire() bool {
+	if p.free() > 0 && len(p.waiters) == 0 {
+		p.inUse++
+		p.waitHist.Record(0)
+		return true
+	}
+	return false
+}
+
+// Release returns one token, waking the oldest waiter if any. Releasing
+// more tokens than were acquired is a programming error and panics.
+func (p *TokenPool) Release() {
+	if p.inUse <= 0 {
+		panic(fmt.Sprintf("link: %s: Release without matching Acquire", p.name))
+	}
+	p.inUse--
+	p.wake()
+}
+
+// Resize changes the pool capacity. Growing wakes waiters immediately;
+// shrinking takes effect lazily as holders release (outstanding requests
+// cannot be revoked, matching hardware credit schemes). Capacity is
+// clamped to >= 1.
+func (p *TokenPool) Resize(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	p.capacity = capacity
+	p.wake()
+}
+
+// wake grants free tokens to waiters in FIFO order.
+func (p *TokenPool) wake() {
+	for p.free() > 0 && len(p.waiters) > 0 {
+		w := p.waiters[0]
+		copy(p.waiters, p.waiters[1:])
+		p.waiters = p.waiters[:len(p.waiters)-1]
+		p.inUse++
+		wait := p.eng.Now() - w.since
+		p.waitHist.Record(wait)
+		if wait > p.maxWait {
+			p.maxWait = wait
+		}
+		w.fn()
+	}
+}
+
+// MaxWait reports the longest token wait observed — the Table 2 queueing
+// figure.
+func (p *TokenPool) MaxWait() units.Time { return p.maxWait }
+
+// MeanWait reports the average token wait across all acquisitions.
+func (p *TokenPool) MeanWait() units.Time { return p.waitHist.Mean() }
+
+// WaitPercentile reports the given percentile of token waits (immediate
+// grants count as zero-wait acquisitions).
+func (p *TokenPool) WaitPercentile(pct float64) units.Time {
+	return p.waitHist.Percentile(pct)
+}
+
+// ResetStats clears the wait statistics.
+func (p *TokenPool) ResetStats() {
+	p.waitHist.Reset()
+	p.maxWait = 0
+}

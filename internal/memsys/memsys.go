@@ -1,0 +1,147 @@
+// Package memsys models the memory side of the chiplet network: unified
+// memory controllers (UMCs) with their DDR channels, and CXL.mem expansion
+// modules behind the P links. Each component owns directional channels
+// whose capacities are the Table 3 per-controller ceilings, plus a service
+// time model whose jitter produces the latency tails of Figure 3.
+package memsys
+
+import (
+	"fmt"
+
+	"repro/internal/link"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// Jitter samples memory service-time variation: a small exponential
+// component (bank conflicts, scheduling) plus a rare large spike (refresh
+// collisions). It gives the latency distribution the long tail the paper
+// reports as P999.
+type Jitter struct {
+	rng   *sim.RNG
+	mean  units.Time
+	prob  float64
+	spike units.Time
+}
+
+// NewJitter builds a jitter source from profile constants.
+func NewJitter(rng *sim.RNG, mean units.Time, spikeProb float64, spike units.Time) *Jitter {
+	if rng == nil {
+		panic("memsys: nil RNG")
+	}
+	return &Jitter{rng: rng, mean: mean, prob: spikeProb, spike: spike}
+}
+
+// Sample draws one service-time perturbation.
+func (j *Jitter) Sample() units.Time {
+	var d units.Time
+	if j.mean > 0 {
+		d += units.Time(float64(j.mean) * j.rng.ExpFloat64())
+	}
+	if j.prob > 0 && j.rng.Float64() < j.prob {
+		d += j.spike
+	}
+	return d
+}
+
+// DRAMChannel is one UMC and its DDR channel: directional bandwidth caps
+// (Table 3: 21.1/19.0 GB/s on the 7302, 34.9/28.3 on the 9634) and the
+// DRAM array access time.
+type DRAMChannel struct {
+	Index int
+	Read  *link.Channel // data return toward the cores
+	Write *link.Channel // data in from the cores
+
+	base   units.Time
+	jitter *Jitter
+}
+
+// NewDRAMChannel builds UMC index for the given profile.
+func NewDRAMChannel(eng *sim.Engine, p *topology.Profile, index int) *DRAMChannel {
+	name := fmt.Sprintf("umc%d", index)
+	return &DRAMChannel{
+		Index: index,
+		Read:  link.NewChannel(eng, name+"/rd", p.UMCReadCap, 0, 0),
+		Write: link.NewChannel(eng, name+"/wr", p.UMCWriteCap, 0, 0),
+		base:  p.DRAMLatency,
+		jitter: NewJitter(eng.Rand(), p.DRAMJitterMean,
+			p.TailSpikeProb, p.TailSpikeDelay),
+	}
+}
+
+// AccessTime samples the DRAM array access latency for one request.
+func (d *DRAMChannel) AccessTime() units.Time { return d.base + d.jitter.Sample() }
+
+// CXLModule is one CXL.mem expansion device behind a P link. Its channels
+// carry 68 B flits per 64 B payload (§2.3), and its access time covers the
+// CXL controller plus far-memory array.
+type CXLModule struct {
+	Index int
+	Read  *link.Channel // P link + CXL lanes toward the cores
+	Write *link.Channel
+
+	flit   units.ByteSize
+	base   units.Time
+	jitter *Jitter
+}
+
+// NewCXLModule builds CXL module index for the given profile. The profile
+// must actually have CXL modules.
+func NewCXLModule(eng *sim.Engine, p *topology.Profile, index int) *CXLModule {
+	if p.CXLModules == 0 {
+		panic(fmt.Sprintf("memsys: profile %s has no CXL modules", p.Name))
+	}
+	name := fmt.Sprintf("cxl%d", index)
+	return &CXLModule{
+		Index: index,
+		Read:  link.NewChannel(eng, name+"/rd", p.PLinkReadCap, 0, 0),
+		Write: link.NewChannel(eng, name+"/wr", p.PLinkWriteCap, 0, 0),
+		flit:  p.CXLFlitSize,
+		base:  p.CXLDeviceLatency,
+		jitter: NewJitter(eng.Rand(), p.DRAMJitterMean,
+			p.TailSpikeProb, p.TailSpikeDelay),
+	}
+}
+
+// FlitSize reports the wire size of a payload: full CXL flits, rounded up
+// (§2.3: a cacheline rides one 68 B flit).
+func (m *CXLModule) FlitSize(payload units.ByteSize) units.ByteSize {
+	if payload <= 0 {
+		return 0
+	}
+	flits := (payload + units.CacheLine - 1) / units.CacheLine
+	return flits * m.flit
+}
+
+// AccessTime samples the module's internal access latency.
+func (m *CXLModule) AccessTime() units.Time { return m.base + m.jitter.Sample() }
+
+// Interleaver spreads consecutive cacheline requests across a set of
+// memory channels, as the memory controller's address hash does for an
+// NPS-interleaved allocation.
+type Interleaver struct {
+	set  []int
+	next int
+}
+
+// NewInterleaver builds an interleaver over the channel set (from
+// topology.Profile.UMCSet). The set must be non-empty.
+func NewInterleaver(set []int) *Interleaver {
+	if len(set) == 0 {
+		panic("memsys: empty interleave set")
+	}
+	s := make([]int, len(set))
+	copy(s, set)
+	return &Interleaver{set: s}
+}
+
+// Next reports the channel for the next cacheline.
+func (iv *Interleaver) Next() int {
+	c := iv.set[iv.next]
+	iv.next = (iv.next + 1) % len(iv.set)
+	return c
+}
+
+// Channels reports the interleave set (not a copy; do not mutate).
+func (iv *Interleaver) Channels() []int { return iv.set }

@@ -1,0 +1,156 @@
+// Package mesh models the I/O chiplet's network-on-chip: the first level
+// of the paper's link-layer hierarchy (Figure 2). Requests entering the
+// I/O die traverse a cache-coherent master, a run of mesh switch hops
+// (SHops), and a coherent station or I/O hub before reaching their target.
+//
+// The mesh is modelled as per-direction aggregate routing capacity (the
+// whole-die ceiling that caps Table 3's "From CPU" rows) plus
+// deterministic per-hop latency. Individual switch queues are not
+// simulated — at the paper's loads the binding constraints are the
+// die-level routing capacity and the per-link ceilings, which this model
+// captures exactly, while a flit-level router sim would add events without
+// changing any reported number.
+package mesh
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/link"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// NoC is the I/O die's routing fabric.
+type NoC struct {
+	prof *topology.Profile
+
+	// Read is the data-return direction (toward cores); Write the
+	// data-out direction. Their capacities are the Table 3 "From CPU"
+	// plateaus: the die's total routing capacity per direction.
+	Read  *link.Channel
+	Write *link.Channel
+}
+
+// New builds the NoC for a profile.
+func New(eng *sim.Engine, p *topology.Profile) *NoC {
+	return &NoC{
+		prof:  p,
+		Read:  link.NewChannel(eng, "noc/rd", p.NoCReadCap, 0, p.NoCReadQueue),
+		Write: link.NewChannel(eng, "noc/wr", p.NoCWriteCap, 0, p.NoCWriteQueue),
+	}
+}
+
+// HopDelay reports the deterministic latency of traversing the given
+// number of switch hops.
+func (n *NoC) HopDelay(hops int) units.Time {
+	return units.Time(hops) * n.prof.SHopLatency
+}
+
+// MemoryHopDelay reports the switch-hop latency from chiplet ccd to memory
+// channel umc.
+func (n *NoC) MemoryHopDelay(ccd, umc int) units.Time {
+	return n.HopDelay(n.prof.MemoryHops(ccd, umc))
+}
+
+// IOHopDelay reports the switch-hop latency from chiplet ccd to the I/O
+// hub.
+func (n *NoC) IOHopDelay(ccd int) units.Time {
+	return n.HopDelay(n.prof.IOHubHops(ccd))
+}
+
+// Segment is one named leg of a data path with its deterministic latency:
+// the decomposition view of the paper's Table 2.
+type Segment struct {
+	Name    string
+	Latency units.Time
+}
+
+// Route is an ordered list of path segments.
+type Route []Segment
+
+// Total reports the summed deterministic latency of the route.
+func (r Route) Total() units.Time {
+	var t units.Time
+	for _, s := range r {
+		t += s.Latency
+	}
+	return t
+}
+
+// String renders the route as "a(1ns) -> b(2ns) = 3ns".
+func (r Route) String() string {
+	var b strings.Builder
+	for i, s := range r {
+		if i > 0 {
+			b.WriteString(" -> ")
+		}
+		fmt.Fprintf(&b, "%s(%v)", s.Name, s.Latency)
+	}
+	fmt.Fprintf(&b, " = %v", r.Total())
+	return b.String()
+}
+
+// meanJitter reports the expected per-access service jitter: the
+// exponential mean plus the spike contribution.
+func meanJitter(p *topology.Profile) units.Time {
+	return p.DRAMJitterMean + units.Time(p.TailSpikeProb*float64(p.TailSpikeDelay))
+}
+
+// MemoryRoute decomposes the unloaded read path from a core on chiplet ccd
+// to memory channel umc: the Table 2 breakdown (CCM, SHops, CS, UMC+DRAM)
+// plus the serialization time of the request and response messages on each
+// link they cross.
+func MemoryRoute(p *topology.Profile, ccd, umc int) Route {
+	hops := p.MemoryHops(ccd, umc)
+	reqSer := p.GMIWriteCap.TimeToSend(p.ReadRequestSize) +
+		p.NoCWriteCap.TimeToSend(p.ReadRequestSize)
+	respSer := p.UMCReadCap.TimeToSend(units.CacheLine) +
+		p.NoCReadCap.TimeToSend(units.CacheLine) +
+		p.GMIReadCap.TimeToSend(units.CacheLine)
+	return Route{
+		{Name: "l3-miss+ccm", Latency: p.CacheMissBase},
+		{Name: "gmi", Latency: p.GMILinkLatency},
+		{Name: fmt.Sprintf("shops[%d]", hops), Latency: units.Time(hops) * p.SHopLatency},
+		{Name: "cs", Latency: p.CSLatency},
+		{Name: "umc+dram", Latency: p.DRAMLatency + meanJitter(p)},
+		{Name: "serialization", Latency: reqSer + respSer},
+	}
+}
+
+// CXLRoute decomposes the unloaded read path from a core on chiplet ccd to
+// a CXL module: through the I/O hub, root complex and P link (§3.2's
+// device path), with the data response riding a 68 B flit.
+func CXLRoute(p *topology.Profile, ccd int) Route {
+	hops := p.IOHubHops(ccd)
+	flit := p.CXLFlitSize
+	reqSer := p.GMIWriteCap.TimeToSend(p.ReadRequestSize) +
+		p.NoCWriteCap.TimeToSend(p.ReadRequestSize) +
+		p.PLinkWriteCap.TimeToSend(p.ReadRequestSize)
+	respSer := p.PLinkReadCap.TimeToSend(flit) +
+		p.NoCReadCap.TimeToSend(units.CacheLine) +
+		p.GMIReadCap.TimeToSend(units.CacheLine)
+	return Route{
+		{Name: "l3-miss+ccm", Latency: p.CacheMissBase},
+		{Name: "gmi", Latency: p.GMILinkLatency},
+		{Name: fmt.Sprintf("shops[%d]", hops), Latency: units.Time(hops) * p.SHopLatency},
+		{Name: "iohub", Latency: p.IOHubLatency},
+		{Name: "rootcomplex", Latency: p.RootComplexLatency},
+		{Name: "plink", Latency: p.PLinkLatency},
+		{Name: "cxl-dev", Latency: p.CXLDeviceLatency + meanJitter(p)},
+		{Name: "serialization", Latency: reqSer + respSer},
+	}
+}
+
+// IntraCCRoute decomposes a cache-to-cache transfer within one compute
+// chiplet (Fig 3-a/b traffic).
+func IntraCCRoute(p *topology.Profile) Route {
+	return Route{{Name: "if-intra-cc", Latency: p.IntraCCLatency}}
+}
+
+// InterCCRoute decomposes a cache-to-cache transfer between compute
+// chiplets through the I/O die (Fig 3-c traffic).
+func InterCCRoute(p *topology.Profile) Route {
+	return Route{{Name: "if-inter-cc", Latency: p.InterCCLatency}}
+}

@@ -1,0 +1,191 @@
+// Package profile implements the paper's research direction #5: a
+// perf-like profiling utility for the chiplet network that "collaboratively
+// combines the hardware architectural PMU with time-series-based
+// probabilistic and compact data structures (like Sketches) to distill
+// application-specific execution telemetry".
+//
+// A Profiler observes completed transactions (attach it to traffic flows
+// via FlowConfig.Observer, or call Observe directly). Per-flow byte and
+// operation counts live in count-min sketches — constant memory no matter
+// how many flows exist — while a bounded key set remembers which flows to
+// report on. Latency distributions are kept per operation class, the
+// "PMU" side of the design.
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/telemetry"
+	"repro/internal/txn"
+	"repro/internal/units"
+)
+
+// FlowStat is one reported flow with its sketch-estimated totals.
+type FlowStat struct {
+	Flow  string
+	Bytes units.ByteSize
+	Ops   uint64
+}
+
+// Profiler distills per-flow telemetry from a transaction stream.
+type Profiler struct {
+	bytes *telemetry.CountMinSketch
+	ops   *telemetry.CountMinSketch
+
+	// tracked remembers up to maxKeys flow keys for reporting. Flows past
+	// the bound still count in the sketches (and in the totals), they are
+	// just not listed individually — the memory/fidelity trade sketches
+	// buy.
+	tracked  map[string]bool
+	maxKeys  int
+	overflow uint64 // observations whose key was not tracked
+
+	// recent is a sliding sketch (direction #5's time-series structure):
+	// per-flow bytes over the last ~80 us of simulated time, answering
+	// "how fast is this flow moving right now".
+	recent *telemetry.SlidingSketch
+
+	latency   map[txn.Op]*telemetry.Histogram
+	total     telemetry.Meter
+	firstSeen units.Time
+	lastSeen  units.Time
+	seen      bool
+}
+
+// New builds a profiler tracking at most maxKeys distinct flows by name
+// (64 when non-positive). Sketch dimensions bound the byte-count
+// over-estimate at ~0.1% of total traffic with 4 rows.
+func New(maxKeys int) *Profiler {
+	if maxKeys <= 0 {
+		maxKeys = 64
+	}
+	return &Profiler{
+		bytes:   telemetry.NewCountMinSketch(2048, 4),
+		ops:     telemetry.NewCountMinSketch(2048, 4),
+		recent:  telemetry.NewSlidingSketch(2048, 4, 8, 10*units.Microsecond),
+		tracked: make(map[string]bool),
+		maxKeys: maxKeys,
+		latency: make(map[txn.Op]*telemetry.Histogram),
+	}
+}
+
+// Observe folds one completed transaction into the profile.
+func (p *Profiler) Observe(t *txn.Transaction) {
+	key := t.Flow.String()
+	p.bytes.Add(key, uint64(t.Size))
+	p.ops.Add(key, 1)
+	p.recent.Add(t.Completed, key, uint64(t.Size))
+	if !p.tracked[key] {
+		if len(p.tracked) < p.maxKeys {
+			p.tracked[key] = true
+		} else {
+			p.overflow++
+		}
+	}
+	h := p.latency[t.Op]
+	if h == nil {
+		h = &telemetry.Histogram{}
+		p.latency[t.Op] = h
+	}
+	h.Record(t.Latency())
+	p.total.Record(t.Size)
+	if !p.seen {
+		p.firstSeen = t.Issued
+		p.seen = true
+	}
+	if t.Completed > p.lastSeen {
+		p.lastSeen = t.Completed
+	}
+}
+
+// FlowBytes reports the sketch-estimated bytes moved by a flow (never an
+// under-estimate).
+func (p *Profiler) FlowBytes(f txn.Flow) units.ByteSize {
+	return units.ByteSize(p.bytes.Estimate(f.String()))
+}
+
+// FlowOps reports the sketch-estimated operation count of a flow.
+func (p *Profiler) FlowOps(f txn.Flow) uint64 {
+	return p.ops.Estimate(f.String())
+}
+
+// RecentRate reports a flow's byte rate over the sliding window — the
+// "right now" view a plain sketch cannot give.
+func (p *Profiler) RecentRate(f txn.Flow) units.Bandwidth {
+	return p.recent.Rate(f.String())
+}
+
+// TotalBytes reports the exact total bytes observed.
+func (p *Profiler) TotalBytes() units.ByteSize { return p.total.Bytes() }
+
+// TotalOps reports the exact total operations observed.
+func (p *Profiler) TotalOps() uint64 { return p.total.Ops() }
+
+// Overflow reports how many observations belonged to flows beyond the
+// tracked-key budget (still counted in totals and sketches).
+func (p *Profiler) Overflow() uint64 { return p.overflow }
+
+// Latency reports the latency histogram of one operation class, nil when
+// the class was never observed.
+func (p *Profiler) Latency(op txn.Op) *telemetry.Histogram { return p.latency[op] }
+
+// Top reports the n tracked flows with the largest estimated byte counts,
+// descending.
+func (p *Profiler) Top(n int) []FlowStat {
+	stats := make([]FlowStat, 0, len(p.tracked))
+	for key := range p.tracked {
+		stats = append(stats, FlowStat{
+			Flow:  key,
+			Bytes: units.ByteSize(p.bytes.Estimate(key)),
+			Ops:   p.ops.Estimate(key),
+		})
+	}
+	sort.Slice(stats, func(i, j int) bool {
+		if stats[i].Bytes != stats[j].Bytes {
+			return stats[i].Bytes > stats[j].Bytes
+		}
+		return stats[i].Flow < stats[j].Flow
+	})
+	if n > 0 && len(stats) > n {
+		stats = stats[:n]
+	}
+	return stats
+}
+
+// Report renders a perf-report-like summary: the top flows by bytes with
+// their share of total traffic, then per-operation latency lines.
+func (p *Profiler) Report(top int) string {
+	var b strings.Builder
+	span := p.lastSeen - p.firstSeen
+	fmt.Fprintf(&b, "# chiplet-net profile: %d ops, %v over %v",
+		p.TotalOps(), p.TotalBytes(), span)
+	if span > 0 {
+		fmt.Fprintf(&b, " (%v)", units.Rate(p.TotalBytes(), span))
+	}
+	b.WriteString("\n#\n# Overhead  Bytes        Ops         Flow\n")
+	total := float64(p.TotalBytes())
+	for _, s := range p.Top(top) {
+		share := 0.0
+		if total > 0 {
+			share = float64(s.Bytes) / total * 100
+		}
+		fmt.Fprintf(&b, "  %6.2f%%  %-11v  %-10d  %s\n", share, s.Bytes, s.Ops, s.Flow)
+	}
+	if p.overflow > 0 {
+		fmt.Fprintf(&b, "  [%d observations in untracked flows]\n", p.overflow)
+	}
+	b.WriteString("#\n# Latency by operation\n")
+	ops := make([]txn.Op, 0, len(p.latency))
+	for op := range p.latency {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	for _, op := range ops {
+		h := p.latency[op]
+		fmt.Fprintf(&b, "  %-8v n=%-9d mean=%-10v p50=%-10v p99=%-10v p999=%v\n",
+			op, h.Count(), h.Mean(), h.P50(), h.P99(), h.P999())
+	}
+	return b.String()
+}

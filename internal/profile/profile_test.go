@@ -1,0 +1,148 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+	"repro/internal/txn"
+	"repro/internal/units"
+)
+
+func mkTxn(id uint64, op txn.Op, umc int, lat units.Time) *txn.Transaction {
+	return &txn.Transaction{
+		ID: id, Op: op, Size: units.CacheLine,
+		Flow: txn.Flow{
+			Src: txn.CoreEP(topology.CoreID{}),
+			Dst: txn.DRAMEP(umc),
+		},
+		Issued: 0, Completed: lat,
+	}
+}
+
+func TestProfilerCounts(t *testing.T) {
+	p := New(8)
+	for i := 0; i < 100; i++ {
+		p.Observe(mkTxn(uint64(i), txn.Read, 0, 124*units.Nanosecond))
+	}
+	for i := 0; i < 50; i++ {
+		p.Observe(mkTxn(uint64(i+100), txn.NTWrite, 1, 130*units.Nanosecond))
+	}
+	if p.TotalOps() != 150 || p.TotalBytes() != 150*64 {
+		t.Errorf("totals: ops=%d bytes=%v", p.TotalOps(), p.TotalBytes())
+	}
+	f0 := txn.Flow{Src: txn.CoreEP(topology.CoreID{}), Dst: txn.DRAMEP(0)}
+	if got := p.FlowBytes(f0); got < 100*64 {
+		t.Errorf("FlowBytes = %v, must not under-estimate 6400", got)
+	}
+	if got := p.FlowOps(f0); got < 100 {
+		t.Errorf("FlowOps = %d, must not under-estimate 100", got)
+	}
+	if p.Latency(txn.Read).Count() != 100 {
+		t.Error("read latency histogram wrong")
+	}
+	if p.Latency(txn.Write) != nil {
+		t.Error("unobserved op should have nil histogram")
+	}
+	top := p.Top(1)
+	if len(top) != 1 || !strings.Contains(top[0].Flow, "umc0") {
+		t.Errorf("Top = %+v", top)
+	}
+}
+
+func TestProfilerKeyBudget(t *testing.T) {
+	p := New(4)
+	for umc := 0; umc < 10; umc++ {
+		p.Observe(mkTxn(uint64(umc), txn.Read, umc, units.Nanosecond))
+	}
+	if len(p.Top(0)) != 4 {
+		t.Errorf("tracked %d flows, want 4", len(p.Top(0)))
+	}
+	if p.Overflow() != 6 {
+		t.Errorf("overflow = %d, want 6", p.Overflow())
+	}
+	// Untracked flows still count in totals.
+	if p.TotalOps() != 10 {
+		t.Errorf("TotalOps = %d", p.TotalOps())
+	}
+}
+
+func TestProfilerReport(t *testing.T) {
+	p := New(8)
+	for i := 0; i < 200; i++ {
+		tx := mkTxn(uint64(i), txn.Read, i%2, 124*units.Nanosecond)
+		tx.Issued = units.Time(i) * units.Nanosecond
+		tx.Completed = tx.Issued + 124*units.Nanosecond
+		p.Observe(tx)
+	}
+	rep := p.Report(5)
+	for _, want := range []string{"chiplet-net profile", "200 ops", "Overhead", "umc0", "umc1", "read", "p999"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestProfilerDefaultBudget(t *testing.T) {
+	if New(0) == nil {
+		t.Fatal("New(0) should build with defaults")
+	}
+}
+
+func TestProfilerAttachedToFlow(t *testing.T) {
+	// End to end: profile a live flow via the Observer hook.
+	eng := sim.New(1)
+	plat := topology.EPYC7302()
+	net := core.New(eng, plat)
+	prof := New(16)
+	f := traffic.MustFlow(net, traffic.FlowConfig{
+		Name: "p", Op: txn.Read, Kind: core.DestDRAM,
+		UMCs:     plat.UMCSet(topology.NPS4, 0),
+		Cores:    []topology.CoreID{{}},
+		Observer: prof.Observe,
+	})
+	f.Start()
+	eng.RunFor(30 * units.Microsecond)
+	if prof.TotalOps() == 0 {
+		t.Fatal("profiler saw no transactions")
+	}
+	if prof.TotalOps() != f.Latency().Count() {
+		t.Errorf("profiler ops %d != flow completions %d", prof.TotalOps(), f.Latency().Count())
+	}
+	h := prof.Latency(txn.Read)
+	if h == nil || h.Mean() < 100*units.Nanosecond {
+		t.Errorf("profiled latency looks wrong: %v", h)
+	}
+	if len(prof.Top(10)) != 2 {
+		t.Errorf("expected 2 flows (2 NPS4 channels), got %d", len(prof.Top(10)))
+	}
+}
+
+func TestProfilerRecentRate(t *testing.T) {
+	p := New(8)
+	f := txn.Flow{Src: txn.CoreEP(topology.CoreID{}), Dst: txn.DRAMEP(0)}
+	// 64 B every 20 ns for 160 us (well past the 80 us window): 3.2 GB/s
+	// sustained.
+	for i := 0; i < 8000; i++ {
+		tx := mkTxn(uint64(i), txn.Read, 0, 124*units.Nanosecond)
+		tx.Completed = units.Time(i) * 20 * units.Nanosecond
+		p.Observe(tx)
+	}
+	rate := p.RecentRate(f).GBpsValue()
+	if rate < 2.8 || rate > 3.6 {
+		t.Errorf("RecentRate = %.2f GB/s, want ~3.2", rate)
+	}
+	// A long-idle flow's recent rate decays to zero while its total stays.
+	idle := mkTxn(9999, txn.Read, 5, units.Nanosecond)
+	idle.Completed = 10 * units.Millisecond
+	p.Observe(idle)
+	if got := p.RecentRate(f); got != 0 {
+		t.Errorf("stale RecentRate = %v, want 0", got)
+	}
+	if p.FlowBytes(f) < 8000*64 {
+		t.Error("total bytes must survive window expiry")
+	}
+}

@@ -1,0 +1,224 @@
+// Package router is a packet-switched 2D-mesh network-on-chip at per-hop
+// granularity: every mesh edge is a serialized, bounded channel and every
+// message walks router to router under dimension-ordered (XY) routing.
+// The paper's §2.3 describes exactly this design space — mesh topologies
+// with "either bufferless or buffered routing protocols" — and both modes
+// are implemented: buffered routers hold refused messages and retry;
+// bufferless routers deflect them out of any free port and re-route from
+// the new position.
+//
+// The main model (internal/mesh) abstracts the I/O die's NoC as aggregate
+// per-direction routing capacity, arguing that at the paper's loads the
+// die-level ceiling is what binds. This package exists to check that
+// argument: the A5 ablation drives the same offered loads through a real
+// router mesh and compares the latency knee and saturation bandwidth
+// against the aggregate abstraction.
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/link"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// Mode selects the routing protocol.
+type Mode int
+
+// Routing protocols (§2.3).
+const (
+	// Buffered routers queue refused messages at the input and retry —
+	// wormhole/store-and-forward style.
+	Buffered Mode = iota
+	// Bufferless routers never wait: a message that cannot take its
+	// preferred port is deflected out of any free port and re-routes
+	// from wherever it lands (hot-potato routing).
+	Bufferless
+)
+
+func (m Mode) String() string {
+	if m == Bufferless {
+		return "bufferless"
+	}
+	return "buffered"
+}
+
+// Config sizes a mesh.
+type Config struct {
+	Width, Height int
+	// LinkCapacity is each directed edge's bandwidth.
+	LinkCapacity units.Bandwidth
+	// HopLatency is each edge's propagation delay.
+	HopLatency units.Time
+	// QueueDepth bounds each edge's staging queue (buffered mode;
+	// bufferless uses depth 1 — a single cut-through slot).
+	QueueDepth int
+	Mode       Mode
+}
+
+// Mesh is a running router network.
+type Mesh struct {
+	eng *sim.Engine
+	cfg Config
+	// edges[from][to] for adjacent nodes.
+	edges map[topology.Coord]map[topology.Coord]*link.Channel
+	rng   *sim.RNG
+
+	delivered   uint64
+	hops        uint64
+	deflections uint64
+	latency     telemetry.Histogram
+}
+
+// New builds the mesh. Dimensions must be positive; capacity must be
+// positive (an infinite-capacity mesh would validate nothing).
+func New(eng *sim.Engine, cfg Config) *Mesh {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		panic(fmt.Sprintf("router: bad mesh %dx%d", cfg.Width, cfg.Height))
+	}
+	if cfg.LinkCapacity <= 0 {
+		panic("router: non-positive link capacity")
+	}
+	depth := cfg.QueueDepth
+	if cfg.Mode == Bufferless {
+		depth = 1
+	}
+	if depth <= 0 {
+		depth = 8
+	}
+	m := &Mesh{eng: eng, cfg: cfg, rng: eng.Rand(),
+		edges: make(map[topology.Coord]map[topology.Coord]*link.Channel)}
+	add := func(a, b topology.Coord) {
+		if m.edges[a] == nil {
+			m.edges[a] = make(map[topology.Coord]*link.Channel)
+		}
+		name := fmt.Sprintf("edge%v->%v", a, b)
+		m.edges[a][b] = link.NewChannel(eng, name, cfg.LinkCapacity, cfg.HopLatency, depth)
+	}
+	for x := 0; x < cfg.Width; x++ {
+		for y := 0; y < cfg.Height; y++ {
+			at := topology.Coord{X: x, Y: y}
+			for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				nb := topology.Coord{X: x + d[0], Y: y + d[1]}
+				if nb.X >= 0 && nb.X < cfg.Width && nb.Y >= 0 && nb.Y < cfg.Height {
+					add(at, nb)
+				}
+			}
+		}
+	}
+	return m
+}
+
+// neighbors reports the adjacent coordinates of at.
+func (m *Mesh) neighbors(at topology.Coord) []topology.Coord {
+	out := make([]topology.Coord, 0, 4)
+	for nb := range m.edges[at] {
+		out = append(out, nb)
+	}
+	return out
+}
+
+// xyNext reports the dimension-ordered next hop from at toward dst.
+func xyNext(at, dst topology.Coord) topology.Coord {
+	switch {
+	case at.X < dst.X:
+		return topology.Coord{X: at.X + 1, Y: at.Y}
+	case at.X > dst.X:
+		return topology.Coord{X: at.X - 1, Y: at.Y}
+	case at.Y < dst.Y:
+		return topology.Coord{X: at.X, Y: at.Y + 1}
+	default:
+		return topology.Coord{X: at.X, Y: at.Y - 1}
+	}
+}
+
+// Route injects a message at src and delivers it at dst, walking the mesh
+// hop by hop under the configured protocol. deliver runs on arrival (may
+// be nil).
+func (m *Mesh) Route(src, dst topology.Coord, size units.ByteSize, deliver func()) {
+	if m.edges[src] == nil || m.edges[dst] == nil {
+		panic(fmt.Sprintf("router: route %v->%v off the mesh", src, dst))
+	}
+	start := m.eng.Now()
+	var walk func(at topology.Coord)
+	walk = func(at topology.Coord) {
+		if at == dst {
+			m.delivered++
+			m.latency.Record(m.eng.Now() - start)
+			if deliver != nil {
+				deliver()
+			}
+			return
+		}
+		want := xyNext(at, dst)
+		ch := m.edges[at][want]
+		if ch.TrySend(size, func() { walk(want) }) {
+			m.hops++
+			return
+		}
+		if m.cfg.Mode == Bufferless {
+			// Deflect: take any free port, re-route from there. If every
+			// port is busy, spin one serialization quantum in place (a
+			// real deflection router would have won some port; the spin
+			// models losing arbitration).
+			nbs := m.neighbors(at)
+			off := m.rng.Intn(len(nbs))
+			for i := 0; i < len(nbs); i++ {
+				nb := nbs[(off+i)%len(nbs)]
+				if nb == want {
+					continue
+				}
+				if m.edges[at][nb].TrySend(size, func() { walk(nb) }) {
+					m.hops++
+					m.deflections++
+					return
+				}
+			}
+			m.eng.After(m.cfg.LinkCapacity.TimeToSend(size), func() { walk(at) })
+			return
+		}
+		// Buffered: wait for the wanted port, jittered around one
+		// serialization quantum.
+		q := m.cfg.LinkCapacity.TimeToSend(size)
+		if q <= 0 {
+			q = units.Nanosecond
+		}
+		backoff := q/2 + units.Time(m.rng.Int63n(int64(q)+1))
+		m.eng.After(backoff, func() { walk(at) })
+	}
+	walk(src)
+}
+
+// Delivered reports completed messages.
+func (m *Mesh) Delivered() uint64 { return m.delivered }
+
+// Hops reports total edge traversals.
+func (m *Mesh) Hops() uint64 { return m.hops }
+
+// Deflections reports bufferless mis-routes.
+func (m *Mesh) Deflections() uint64 { return m.deflections }
+
+// Latency reports the end-to-end delivery histogram.
+func (m *Mesh) Latency() *telemetry.Histogram { return &m.latency }
+
+// ResetStats clears counters (in-flight messages keep walking).
+func (m *Mesh) ResetStats() {
+	m.delivered, m.hops, m.deflections = 0, 0, 0
+	m.latency.Reset()
+}
+
+// BisectionBandwidth reports the mesh's theoretical bisection limit: the
+// directed capacity crossing the narrower middle cut, a standard upper
+// bound on uniform-random throughput.
+func (m *Mesh) BisectionBandwidth() units.Bandwidth {
+	cut := m.cfg.Height // vertical cut crosses Height edges each way
+	if m.cfg.Width > m.cfg.Height {
+		cut = m.cfg.Height
+	} else {
+		cut = m.cfg.Width
+	}
+	return units.Bandwidth(2*cut) * m.cfg.LinkCapacity
+}

@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func BenchmarkEngineEventChurn(b *testing.B) {
+	e := New(1)
+	b.ReportAllocs()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(units.Nanosecond, tick)
+		}
+	}
+	b.ResetTimer()
+	e.After(0, tick)
+	e.Run()
+}
+
+func BenchmarkEngineHeapFanout(b *testing.B) {
+	// Many pending events at once: heap push/pop cost.
+	e := New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.At(e.Now()+units.Time(i%1000)+1, func() {})
+		if e.Pending() > 4096 {
+			e.Step()
+		}
+	}
+	e.Run()
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkRNGExpFloat64(b *testing.B) {
+	r := NewRNG(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.ExpFloat64()
+	}
+	_ = sink
+}

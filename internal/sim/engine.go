@@ -1,0 +1,121 @@
+// Package sim provides the discrete-event simulation engine underlying the
+// chiplet-network model: a picosecond-resolution event calendar and a
+// deterministic pseudo-random source.
+//
+// Everything in the simulator is single-threaded by design. Hardware
+// interconnects are themselves deterministic state machines; modelling them
+// with goroutines would trade reproducibility for no fidelity gain. Tests
+// and experiments rely on bit-identical replay from a seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Engine is a discrete-event scheduler. The zero value is not usable; use
+// New.
+type Engine struct {
+	now    units.Time
+	events eventHeap
+	seq    uint64
+	rng    *RNG
+}
+
+// New returns an engine whose clock starts at zero and whose random source
+// is seeded with seed (two engines built with the same seed replay
+// identically).
+func New(seed uint64) *Engine {
+	return &Engine{rng: NewRNG(seed)}
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() units.Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *RNG { return e.rng }
+
+// Pending reports the number of scheduled, not-yet-run events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute simulated time t. Scheduling in the
+// past is a programming error and panics: allowing it silently would
+// reorder causality.
+func (e *Engine) At(t units.Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v which is before now (%v)", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time. A negative d is
+// clamped to zero (run as the next event at the current timestamp).
+func (e *Engine) After(d units.Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// Step runs the single earliest pending event, advancing the clock to its
+// timestamp. It reports whether an event ran.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run processes events until the calendar is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil processes every event scheduled at or before t, then advances
+// the clock to exactly t. Events scheduled later remain pending.
+func (e *Engine) RunUntil(t units.Time) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunFor processes events for a span d of simulated time starting now.
+func (e *Engine) RunFor(d units.Time) { e.RunUntil(e.now + d) }
+
+// event is one calendar entry. seq breaks timestamp ties in FIFO order so
+// same-time events run in the order they were scheduled.
+type event struct {
+	at  units.Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := New(1)
+	var got []int
+	e.At(30*units.Nanosecond, func() { got = append(got, 3) })
+	e.At(10*units.Nanosecond, func() { got = append(got, 1) })
+	e.At(20*units.Nanosecond, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("event order = %v, want [1 2 3]", got)
+	}
+	if e.Now() != 30*units.Nanosecond {
+		t.Errorf("Now = %v, want 30ns", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(units.Nanosecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break order = %v, want ascending", got)
+		}
+	}
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	e := New(1)
+	var fired []units.Time
+	e.After(5*units.Nanosecond, func() {
+		fired = append(fired, e.Now())
+		e.After(7*units.Nanosecond, func() {
+			fired = append(fired, e.Now())
+		})
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != 5*units.Nanosecond || fired[1] != 12*units.Nanosecond {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New(1)
+	e.At(10*units.Nanosecond, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when scheduling in the past")
+		}
+	}()
+	e.At(5*units.Nanosecond, func() {})
+}
+
+func TestNegativeAfterClamped(t *testing.T) {
+	e := New(1)
+	ran := false
+	e.After(-units.Nanosecond, func() { ran = true })
+	e.Run()
+	if !ran {
+		t.Fatal("negative After should run at the current time")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New(1)
+	var ran []int
+	e.At(10*units.Nanosecond, func() { ran = append(ran, 1) })
+	e.At(20*units.Nanosecond, func() { ran = append(ran, 2) })
+	e.At(30*units.Nanosecond, func() { ran = append(ran, 3) })
+	e.RunUntil(20 * units.Nanosecond)
+	if len(ran) != 2 {
+		t.Fatalf("ran %v, want first two", ran)
+	}
+	if e.Now() != 20*units.Nanosecond {
+		t.Errorf("Now = %v, want 20ns", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+	// RunUntil advances the clock even with no events in the window.
+	e.RunUntil(25 * units.Nanosecond)
+	if e.Now() != 25*units.Nanosecond {
+		t.Errorf("Now = %v, want 25ns", e.Now())
+	}
+	e.RunFor(5 * units.Nanosecond)
+	if len(ran) != 3 || e.Now() != 30*units.Nanosecond {
+		t.Errorf("after RunFor: ran=%v now=%v", ran, e.Now())
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	e := New(1)
+	if e.Step() {
+		t.Fatal("Step on empty calendar should report false")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func(seed uint64) []uint64 {
+		e := New(seed)
+		var vals []uint64
+		var tick func()
+		tick = func() {
+			vals = append(vals, e.Rand().Uint64())
+			if len(vals) < 100 {
+				e.After(units.Time(e.Rand().Intn(1000)+1), tick)
+			}
+		}
+		e.After(0, tick)
+		e.Run()
+		return vals
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRNGUniformity(t *testing.T) {
+	r := NewRNG(7)
+	const n = 100000
+	var sum float64
+	buckets := make([]int, 10)
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		sum += v
+		buckets[int(v*10)]++
+	}
+	mean := sum / n
+	if mean < 0.49 || mean > 0.51 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+	for i, b := range buckets {
+		if b < n/10-n/100*3 || b > n/10+n/100*3 {
+			t.Errorf("bucket %d count %d deviates from uniform", i, b)
+		}
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(9)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	mean := sum / n
+	if mean < 0.98 || mean > 1.02 {
+		t.Errorf("exp mean = %v, want ~1", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := NewRNG(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}

@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(units.Time(i%1000000) + 100)
+	}
+}
+
+func BenchmarkHistogramPercentile(b *testing.B) {
+	var h Histogram
+	for i := 0; i < 100000; i++ {
+		h.Record(units.Time(i%1000000) + 100)
+	}
+	b.ResetTimer()
+	var sink units.Time
+	for i := 0; i < b.N; i++ {
+		sink += h.P999()
+	}
+	_ = sink
+}
+
+func BenchmarkSketchAdd(b *testing.B) {
+	s := NewCountMinSketch(2048, 4)
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("core:ccd%d/core%d -> dram:umc%d", i%12, i%7, i%12)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(keys[i%len(keys)], 64)
+	}
+}
+
+func BenchmarkTimeSeriesRecord(b *testing.B) {
+	ts := NewTimeSeries(25 * units.Microsecond)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ts.Record(units.Time(i%1000)*units.Microsecond, units.CacheLine)
+	}
+}

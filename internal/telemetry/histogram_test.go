@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.P999() != 0 || h.Max() != 0 {
+		t.Errorf("empty histogram should report zeros: %v", h.String())
+	}
+	if h.String() != "histogram{empty}" {
+		t.Errorf("String = %q", h.String())
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	var h Histogram
+	h.Record(124 * units.Nanosecond)
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 124*units.Nanosecond {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+	for _, p := range []float64{0, 50, 99, 99.9, 100} {
+		got := h.Percentile(p)
+		if relErr(got, 124*units.Nanosecond) > 0.04 {
+			t.Errorf("P%v = %v, want ~124ns", p, got)
+		}
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Record(-5 * units.Nanosecond)
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("negative record should clamp to zero: min=%v max=%v", h.Min(), h.Max())
+	}
+}
+
+func relErr(got, want units.Time) float64 {
+	if want == 0 {
+		return math.Abs(float64(got))
+	}
+	return math.Abs(float64(got-want)) / float64(want)
+}
+
+func TestHistogramPercentilesAgainstExact(t *testing.T) {
+	rng := sim.NewRNG(11)
+	var h Histogram
+	vals := make([]units.Time, 0, 50000)
+	for i := 0; i < 50000; i++ {
+		// Latency-like distribution: 120 ns base + exponential tail.
+		v := units.Nanos(120 + 80*rng.ExpFloat64())
+		vals = append(vals, v)
+		h.Record(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, p := range []float64{50, 90, 99, 99.9} {
+		exact := vals[int(math.Ceil(p/100*float64(len(vals))))-1]
+		got := h.Percentile(p)
+		if relErr(got, exact) > 0.05 {
+			t.Errorf("P%v = %v, exact %v (err %.3f)", p, got, exact, relErr(got, exact))
+		}
+	}
+	// Mean is exact (tracked as a running sum).
+	var sum float64
+	for _, v := range vals {
+		sum += float64(v)
+	}
+	exactMean := units.Time(math.Round(sum / float64(len(vals))))
+	if d := h.Mean() - exactMean; d < -1 || d > 1 {
+		t.Errorf("Mean = %v, exact %v", h.Mean(), exactMean)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, whole Histogram
+	rng := sim.NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := units.Time(rng.Intn(1000000) + 1)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		whole.Record(v)
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() {
+		t.Fatalf("merged count = %d, want %d", a.Count(), whole.Count())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Errorf("merged min/max = %v/%v, want %v/%v", a.Min(), a.Max(), whole.Min(), whole.Max())
+	}
+	for _, p := range []float64{50, 99, 99.9} {
+		if a.Percentile(p) != whole.Percentile(p) {
+			t.Errorf("merged P%v = %v, want %v", p, a.Percentile(p), whole.Percentile(p))
+		}
+	}
+	// Merging nil and empty is a no-op.
+	before := a.Count()
+	a.Merge(nil)
+	a.Merge(&Histogram{})
+	if a.Count() != before {
+		t.Error("merging nil/empty changed the count")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Record(units.Nanosecond)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Error("Reset did not clear the histogram")
+	}
+}
+
+// Property: percentiles are monotone non-decreasing in p and bounded by
+// [Min, Max].
+func TestHistogramPercentileMonotone(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		rng := sim.NewRNG(seed)
+		var h Histogram
+		for i := 0; i < n; i++ {
+			h.Record(units.Time(rng.Int63n(int64(10 * units.Microsecond))))
+		}
+		prev := units.Time(-1)
+		for p := 0.0; p <= 100; p += 2.5 {
+			v := h.Percentile(p)
+			if v < prev || v < h.Min() || v > h.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: bucketLow(bucketIndex(v)) <= v with bounded relative error.
+func TestBucketRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		v := units.Time(raw % uint64(50*units.Millisecond))
+		low := bucketLow(bucketIndex(v))
+		if low > v {
+			return false
+		}
+		if v >= subBuckets {
+			// Relative quantization error is bounded by 1/subBuckets.
+			if float64(v-low)/float64(v) > 1.0/subBuckets+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// TrafficMatrix accumulates the bytes moved between named endpoints — the
+// "intra-server traffic matrix" the paper's Implication #2 calls for. Keys
+// are free-form endpoint names (e.g. "ccd0/core3", "umc2", "cxl0").
+type TrafficMatrix struct {
+	cells map[matrixKey]units.ByteSize
+}
+
+type matrixKey struct {
+	src, dst string
+}
+
+// NewTrafficMatrix returns an empty matrix.
+func NewTrafficMatrix() *TrafficMatrix {
+	return &TrafficMatrix{cells: make(map[matrixKey]units.ByteSize)}
+}
+
+// Record credits size bytes from src to dst.
+func (tm *TrafficMatrix) Record(src, dst string, size units.ByteSize) {
+	tm.cells[matrixKey{src, dst}] += size
+}
+
+// Bytes reports the bytes moved from src to dst.
+func (tm *TrafficMatrix) Bytes(src, dst string) units.ByteSize {
+	return tm.cells[matrixKey{src, dst}]
+}
+
+// TotalFrom reports all bytes originated by src.
+func (tm *TrafficMatrix) TotalFrom(src string) units.ByteSize {
+	var total units.ByteSize
+	for k, v := range tm.cells {
+		if k.src == src {
+			total += v
+		}
+	}
+	return total
+}
+
+// TotalTo reports all bytes destined to dst.
+func (tm *TrafficMatrix) TotalTo(dst string) units.ByteSize {
+	var total units.ByteSize
+	for k, v := range tm.cells {
+		if k.dst == dst {
+			total += v
+		}
+	}
+	return total
+}
+
+// Total reports all bytes in the matrix.
+func (tm *TrafficMatrix) Total() units.ByteSize {
+	var total units.ByteSize
+	for _, v := range tm.cells {
+		total += v
+	}
+	return total
+}
+
+// Endpoints reports the sorted union of all sources and destinations.
+func (tm *TrafficMatrix) Endpoints() []string {
+	set := make(map[string]bool)
+	for k := range tm.cells {
+		set[k.src] = true
+		set[k.dst] = true
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders the non-zero cells as "src -> dst: bytes" lines, sorted.
+func (tm *TrafficMatrix) String() string {
+	type row struct {
+		k matrixKey
+		v units.ByteSize
+	}
+	rows := make([]row, 0, len(tm.cells))
+	for k, v := range tm.cells {
+		rows = append(rows, row{k, v})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].k.src != rows[j].k.src {
+			return rows[i].k.src < rows[j].k.src
+		}
+		return rows[i].k.dst < rows[j].k.dst
+	})
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s -> %s: %v\n", r.k.src, r.k.dst, r.v)
+	}
+	return b.String()
+}

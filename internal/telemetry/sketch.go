@@ -1,0 +1,69 @@
+package telemetry
+
+import "hash/maphash"
+
+// CountMinSketch is a probabilistic frequency table: it over-estimates
+// counts with bounded error using constant memory, regardless of the
+// number of distinct keys. The paper's research direction #5 proposes
+// sketch-backed profiling to distill per-flow telemetry from
+// sub-microsecond event streams; the profiler package builds on this type.
+type CountMinSketch struct {
+	width uint64
+	depth int
+	rows  [][]uint64
+	seeds []maphash.Seed
+}
+
+// NewCountMinSketch returns a sketch with the given width (counters per
+// row) and depth (independent rows). Estimate error is bounded by
+// total/width with probability 1 - (1/2)^depth (for the classic
+// parameterization). It panics on non-positive dimensions.
+func NewCountMinSketch(width, depth int) *CountMinSketch {
+	if width <= 0 || depth <= 0 {
+		panic("telemetry: non-positive sketch dimensions")
+	}
+	s := &CountMinSketch{
+		width: uint64(width),
+		depth: depth,
+		rows:  make([][]uint64, depth),
+		seeds: make([]maphash.Seed, depth),
+	}
+	for i := range s.rows {
+		s.rows[i] = make([]uint64, width)
+		s.seeds[i] = maphash.MakeSeed()
+	}
+	return s
+}
+
+func (s *CountMinSketch) index(row int, key string) uint64 {
+	return maphash.String(s.seeds[row], key) % s.width
+}
+
+// Add credits count to key.
+func (s *CountMinSketch) Add(key string, count uint64) {
+	for i := 0; i < s.depth; i++ {
+		s.rows[i][s.index(i, key)] += count
+	}
+}
+
+// Estimate reports key's count. It never under-estimates.
+func (s *CountMinSketch) Estimate(key string) uint64 {
+	min := uint64(0)
+	for i := 0; i < s.depth; i++ {
+		v := s.rows[i][s.index(i, key)]
+		if i == 0 || v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Reset zeroes all counters, keeping the hash seeds so estimates remain
+// comparable across windows.
+func (s *CountMinSketch) Reset() {
+	for _, row := range s.rows {
+		for i := range row {
+			row[i] = 0
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// SlidingSketch is a time-windowed count-min sketch: a ring of sketches,
+// one per interval, whose estimates cover only the most recent span. The
+// paper's research direction #5 proposes exactly this marriage of
+// "time-series-based probabilistic and compact data structures" for
+// distilling per-flow telemetry: a plain sketch answers "how much has this
+// flow ever moved", a sliding sketch answers "how fast is it moving now"
+// in the same constant memory.
+type SlidingSketch struct {
+	interval  units.Time
+	ring      []*CountMinSketch
+	head      int // ring slot covering headStart..headStart+interval
+	headStart units.Time
+	started   bool
+}
+
+// NewSlidingSketch builds a sketch covering windows*interval of history at
+// interval resolution, with each window a width x depth count-min sketch.
+func NewSlidingSketch(width, depth, windows int, interval units.Time) *SlidingSketch {
+	if windows <= 0 {
+		panic("telemetry: non-positive window count")
+	}
+	if interval <= 0 {
+		panic("telemetry: non-positive window interval")
+	}
+	s := &SlidingSketch{interval: interval, ring: make([]*CountMinSketch, windows)}
+	for i := range s.ring {
+		s.ring[i] = NewCountMinSketch(width, depth)
+	}
+	return s
+}
+
+// Span reports the total history the sketch covers.
+func (s *SlidingSketch) Span() units.Time {
+	return units.Time(len(s.ring)) * s.interval
+}
+
+// rotate advances the ring so the head window contains now. Windows that
+// fall out of the span are cleared for reuse.
+func (s *SlidingSketch) rotate(now units.Time) {
+	if !s.started {
+		s.started = true
+		s.headStart = now - now%s.interval
+		return
+	}
+	for now >= s.headStart+s.interval {
+		s.head = (s.head + 1) % len(s.ring)
+		s.ring[s.head].Reset()
+		s.headStart += s.interval
+	}
+}
+
+// Add credits count to key at time now. Time must not move backwards by
+// more than the covered span (the simulator's clock is monotonic, so this
+// only matters for misuse); backwards adds land in the current window.
+func (s *SlidingSketch) Add(now units.Time, key string, count uint64) {
+	s.rotate(now)
+	s.ring[s.head].Add(key, count)
+}
+
+// Estimate reports key's count over the covered span ending at the last
+// Add. Like the underlying sketch, it never under-estimates.
+func (s *SlidingSketch) Estimate(key string) uint64 {
+	var total uint64
+	for _, sk := range s.ring {
+		total += sk.Estimate(key)
+	}
+	return total
+}
+
+// Rate reports key's recent byte rate, treating counts as bytes over the
+// covered span.
+func (s *SlidingSketch) Rate(key string) units.Bandwidth {
+	return units.Rate(units.ByteSize(s.Estimate(key)), s.Span())
+}
+
+func (s *SlidingSketch) String() string {
+	return fmt.Sprintf("sliding-sketch{%d windows x %v}", len(s.ring), s.interval)
+}

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestSlidingSketchWindowing(t *testing.T) {
+	s := NewSlidingSketch(256, 3, 4, units.Microsecond) // 4 us of history
+	// 100 units per us for 3 us.
+	for us := 0; us < 3; us++ {
+		s.Add(units.Time(us)*units.Microsecond+500*units.Nanosecond, "a", 100)
+	}
+	if got := s.Estimate("a"); got < 300 {
+		t.Errorf("Estimate = %d, want >= 300 (all within span)", got)
+	}
+	// Jump 10 us ahead: everything expires.
+	s.Add(13*units.Microsecond, "b", 1)
+	if got := s.Estimate("a"); got != 0 {
+		t.Errorf("expired Estimate = %d, want 0", got)
+	}
+	if got := s.Estimate("b"); got < 1 {
+		t.Errorf("fresh Estimate = %d", got)
+	}
+}
+
+func TestSlidingSketchPartialExpiry(t *testing.T) {
+	s := NewSlidingSketch(256, 3, 4, units.Microsecond)
+	s.Add(0, "k", 10)                   // window 0
+	s.Add(1*units.Microsecond, "k", 20) // window 1
+	s.Add(2*units.Microsecond, "k", 30) // window 2
+	s.Add(3*units.Microsecond, "k", 40) // window 3
+	if got := s.Estimate("k"); got < 100 {
+		t.Fatalf("full span Estimate = %d, want >= 100", got)
+	}
+	// Advancing to window 4 drops window 0's 10.
+	s.Add(4*units.Microsecond, "k", 0)
+	got := s.Estimate("k")
+	if got < 90 || got > 95 {
+		t.Errorf("after expiry Estimate = %d, want ~90", got)
+	}
+}
+
+func TestSlidingSketchRate(t *testing.T) {
+	s := NewSlidingSketch(512, 3, 10, units.Microsecond) // 10 us span
+	// 64 B every 10 ns for 10 us = 6.4 GB/s.
+	for i := 0; i < 1000; i++ {
+		s.Add(units.Time(i)*10*units.Nanosecond, "flow", 64)
+	}
+	rate := s.Rate("flow").GBpsValue()
+	if rate < 6.3 || rate > 6.6 {
+		t.Errorf("Rate = %.2f GB/s, want ~6.4", rate)
+	}
+	if s.Span() != 10*units.Microsecond {
+		t.Errorf("Span = %v", s.Span())
+	}
+}
+
+func TestSlidingSketchNeverUnderEstimates(t *testing.T) {
+	s := NewSlidingSketch(64, 3, 4, units.Microsecond) // small: collisions
+	truth := map[string]uint64{}
+	keys := []string{"a", "b", "c", "d", "e"}
+	now := units.Time(0)
+	for i := 0; i < 500; i++ {
+		k := keys[i%len(keys)]
+		s.Add(now, k, uint64(i%7+1))
+		truth[k] += uint64(i%7 + 1)
+		now += 5 * units.Nanosecond // all within one window span
+	}
+	for k, want := range truth {
+		if got := s.Estimate(k); got < want {
+			t.Errorf("Estimate(%s) = %d < true %d", k, got, want)
+		}
+	}
+}
+
+func TestSlidingSketchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero windows":  func() { NewSlidingSketch(8, 2, 0, units.Microsecond) },
+		"zero interval": func() { NewSlidingSketch(8, 2, 4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,113 @@
+// Package topology models the structure of a chiplet-based server SoC: the
+// compute chiplets (CCDs) with their core complexes (CCXs) and cores, the
+// I/O die with its mesh of switch hops, unified memory controllers (UMCs),
+// I/O hubs, and CXL device attachment points.
+//
+// The package corresponds to the paper's Figure 1 (architecture overview)
+// and Figure 2 (topological view): the I/O-die network-on-chip is a mesh,
+// compute chiplets hang off GMI ports, memory channels off coherent
+// stations, and devices off the I/O hub. Two calibrated platform profiles
+// — EPYC7302 and EPYC9634 — carry every constant from the paper's Tables
+// 1–3 and §3.4–3.5 prose.
+package topology
+
+import "fmt"
+
+// Position classifies where a memory channel sits on the I/O-die mesh
+// relative to a compute chiplet's GMI port, following the paper's Table 2
+// terminology. Latency grows with mesh hop distance: near < vertical <
+// horizontal <= diagonal.
+type Position int
+
+// Mesh positions relative to a compute chiplet.
+const (
+	Near Position = iota
+	Vertical
+	Horizontal
+	Diagonal
+)
+
+var positionNames = [...]string{"near", "vertical", "horizontal", "diagonal"}
+
+// Positions lists all position classes in Table 2 order.
+func Positions() []Position { return []Position{Near, Vertical, Horizontal, Diagonal} }
+
+func (p Position) String() string {
+	if p < 0 || int(p) >= len(positionNames) {
+		return fmt.Sprintf("position(%d)", int(p))
+	}
+	return positionNames[p]
+}
+
+// NPS is the Nodes-Per-Socket BIOS setting: how many NUMA domains the
+// memory channels are split into. NPS1 interleaves across all channels;
+// NPS2 across each half of the die; NPS4 across each quadrant. The paper's
+// Table 2 methodology varies NPS to address DIMMs at specific positions.
+type NPS int
+
+// Supported NPS configurations.
+const (
+	NPS1 NPS = 1
+	NPS2 NPS = 2
+	NPS4 NPS = 4
+)
+
+func (n NPS) String() string { return fmt.Sprintf("NPS%d", int(n)) }
+
+// CoreID names one core: its compute chiplet (CCD), core complex within
+// the chiplet (CCX), and core index within the complex.
+type CoreID struct {
+	CCD, CCX, Core int
+}
+
+func (c CoreID) String() string {
+	return fmt.Sprintf("ccd%d/ccx%d/core%d", c.CCD, c.CCX, c.Core)
+}
+
+// CCXID names one core complex.
+type CCXID struct {
+	CCD, CCX int
+}
+
+func (c CCXID) String() string { return fmt.Sprintf("ccd%d/ccx%d", c.CCD, c.CCX) }
+
+// CCXOf reports the core complex containing the core.
+func (c CoreID) CCXOf() CCXID { return CCXID{c.CCD, c.CCX} }
+
+// Coord is a mesh coordinate on the I/O die. Routing between coordinates
+// is dimension-ordered (X then Y), so the hop count between two points is
+// their Manhattan distance.
+type Coord struct {
+	X, Y int
+}
+
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// Hops reports the Manhattan distance to other: the number of mesh switch
+// hops a request traverses between the two attachment points.
+func (c Coord) Hops(other Coord) int {
+	return abs(c.X-other.X) + abs(c.Y-other.Y)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// MemoryKind distinguishes the two memory domains the paper measures.
+type MemoryKind int
+
+// Memory domains.
+const (
+	DRAM MemoryKind = iota // DIMMs behind on-die UMCs
+	CXL                    // CXL.mem expansion modules behind the P links
+)
+
+func (k MemoryKind) String() string {
+	if k == CXL {
+		return "cxl"
+	}
+	return "dram"
+}

@@ -1,0 +1,302 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestProfilesValidate(t *testing.T) {
+	for _, p := range Profiles() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestTable1Structure(t *testing.T) {
+	p7 := EPYC7302()
+	if p7.CoresPerCCX() != 2 || p7.CCXPerCCD() != 2 || p7.CoresPerCCD() != 4 {
+		t.Errorf("7302 structure: %d cores/CCX, %d CCX/CCD", p7.CoresPerCCX(), p7.CCXPerCCD())
+	}
+	if p7.L3PerCCX() != 16*units.MiB {
+		t.Errorf("7302 L3/CCX = %v, want 16MiB", p7.L3PerCCX())
+	}
+	p9 := EPYC9634()
+	if p9.CoresPerCCX() != 7 || p9.CCXPerCCD() != 1 || p9.CoresPerCCD() != 7 {
+		t.Errorf("9634 structure: %d cores/CCX, %d CCX/CCD", p9.CoresPerCCX(), p9.CCXPerCCD())
+	}
+	if p9.L3PerCCX() != 32*units.MiB {
+		t.Errorf("9634 L3/CCX = %v, want 32MiB", p9.L3PerCCX())
+	}
+}
+
+func TestNodeLayout7302(t *testing.T) {
+	p := EPYC7302()
+	if p.NodeCols() != 2 || p.ChannelsPerNode() != 2 {
+		t.Fatalf("7302 grid: cols=%d ch/node=%d", p.NodeCols(), p.ChannelsPerNode())
+	}
+	wantCCD := []Coord{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	for ccd, want := range wantCCD {
+		if got := p.CCDNode(ccd); got != want {
+			t.Errorf("CCDNode(%d) = %v, want %v", ccd, got, want)
+		}
+	}
+	// Channel pairs share nodes: umc0,1 -> (0,0); umc2,3 -> (0,1); ...
+	wantUMC := []Coord{{0, 0}, {0, 0}, {0, 1}, {0, 1}, {1, 0}, {1, 0}, {1, 1}, {1, 1}}
+	for umc, want := range wantUMC {
+		if got := p.UMCNode(umc); got != want {
+			t.Errorf("UMCNode(%d) = %v, want %v", umc, got, want)
+		}
+	}
+}
+
+func TestPositionClasses(t *testing.T) {
+	for _, p := range Profiles() {
+		for ccd := 0; ccd < p.CCDs; ccd++ {
+			seen := make(map[Position]bool)
+			for u := 0; u < p.UMCChannels; u++ {
+				seen[p.PositionOf(ccd, u)] = true
+			}
+			for _, pos := range Positions() {
+				if !seen[pos] {
+					t.Errorf("%s ccd%d: no channel at %v position", p.Name, ccd, pos)
+				}
+				umc, ok := p.UMCAtPosition(ccd, pos)
+				if !ok {
+					t.Errorf("%s ccd%d: UMCAtPosition(%v) found nothing", p.Name, ccd, pos)
+					continue
+				}
+				if got := p.PositionOf(ccd, umc); got != pos {
+					t.Errorf("%s ccd%d: UMCAtPosition(%v) = umc%d which is %v", p.Name, ccd, pos, umc, got)
+				}
+			}
+		}
+	}
+}
+
+func TestMemoryHopsGradient(t *testing.T) {
+	// Hop counts must reproduce the Table 2 latency gradients.
+	p7 := EPYC7302()
+	for pos, wantExtra := range map[Position]int{Near: 0, Vertical: 1, Horizontal: 2, Diagonal: 3} {
+		if got := p7.ExtraHops(pos); got != wantExtra {
+			t.Errorf("7302 ExtraHops(%v) = %d, want %d", pos, got, wantExtra)
+		}
+	}
+	p9 := EPYC9634()
+	for pos, wantExtra := range map[Position]int{Near: 0, Vertical: 1, Horizontal: 2, Diagonal: 2} {
+		if got := p9.ExtraHops(pos); got != wantExtra {
+			t.Errorf("9634 ExtraHops(%v) = %d, want %d", pos, got, wantExtra)
+		}
+	}
+	// Total hops include the base.
+	umc, _ := p7.UMCAtPosition(0, Diagonal)
+	if got := p7.MemoryHops(0, umc); got != p7.BaseSHops+3 {
+		t.Errorf("7302 diagonal MemoryHops = %d", got)
+	}
+}
+
+func TestTable2LatencyDecomposition(t *testing.T) {
+	// The calibrated fixed-hop components must add up to the paper's
+	// Table 2 "Memory/Device" rows minus the ~7-9 ns of serialization and
+	// mean jitter the simulation adds on top (see the profile calibration
+	// notes; mesh.MemoryRoute carries the full serialization-aware check).
+	cases := []struct {
+		p    *Profile
+		want units.Time
+	}{
+		{EPYC7302(), 115 * units.Nanosecond}, // 124 ns paper - ~9 ns overhead
+		{EPYC9634(), 134 * units.Nanosecond}, // 141 ns paper - ~7 ns overhead
+	}
+	for _, c := range cases {
+		got := c.p.CacheMissBase + c.p.GMILinkLatency +
+			units.Time(c.p.BaseSHops)*c.p.SHopLatency + c.p.CSLatency + c.p.DRAMLatency
+		if got != c.want {
+			t.Errorf("%s near latency decomposition = %v, want %v", c.p.Name, got, c.want)
+		}
+	}
+	// CXL fixed-hop decomposition on the 9634 (Table 2: 243 ns - ~9 ns).
+	p := EPYC9634()
+	got := p.CacheMissBase + p.GMILinkLatency +
+		units.Time(p.IOHubHops(0))*p.SHopLatency +
+		p.IOHubLatency + p.RootComplexLatency + p.PLinkLatency + p.CXLDeviceLatency
+	if got != 234*units.Nanosecond {
+		t.Errorf("9634 CXL decomposition = %v, want 234ns", got)
+	}
+}
+
+func TestIOHubHops(t *testing.T) {
+	p := EPYC9634()
+	// ccd0 at (0,0), hub at (3,0): horizontal class, +2 hops.
+	if got := p.IOHubHops(0); got != p.BaseSHops+2 {
+		t.Errorf("IOHubHops(0) = %d, want %d", got, p.BaseSHops+2)
+	}
+}
+
+func TestUMCSetNPS(t *testing.T) {
+	p7 := EPYC7302()
+	if got := len(p7.UMCSet(NPS1, 0)); got != 8 {
+		t.Errorf("7302 NPS1 set size = %d, want 8", got)
+	}
+	if got := len(p7.UMCSet(NPS2, 0)); got != 4 {
+		t.Errorf("7302 NPS2 set size = %d, want 4", got)
+	}
+	if got := len(p7.UMCSet(NPS4, 0)); got != 2 {
+		t.Errorf("7302 NPS4 set size = %d, want 2", got)
+	}
+	// NPS4 channels must all be near the chiplet.
+	for _, u := range p7.UMCSet(NPS4, 0) {
+		if p7.PositionOf(0, u) != Near {
+			t.Errorf("7302 NPS4 includes non-near channel %d (%v)", u, p7.PositionOf(0, u))
+		}
+	}
+	p9 := EPYC9634()
+	if got := len(p9.UMCSet(NPS1, 0)); got != 12 {
+		t.Errorf("9634 NPS1 set size = %d, want 12", got)
+	}
+	if got := len(p9.UMCSet(NPS2, 5)); got != 6 {
+		t.Errorf("9634 NPS2 set size = %d, want 6", got)
+	}
+	if got := len(p9.UMCSet(NPS4, 11)); got != 3 {
+		t.Errorf("9634 NPS4 set size = %d, want 3", got)
+	}
+}
+
+func TestUMCSetPartition(t *testing.T) {
+	// For each NPS, the union of per-quadrant sets covers all channels and
+	// same-node CCDs get identical sets.
+	for _, p := range Profiles() {
+		for _, nps := range []NPS{NPS1, NPS2, NPS4} {
+			covered := make(map[int]bool)
+			for ccd := 0; ccd < p.CCDs; ccd++ {
+				for _, u := range p.UMCSet(nps, ccd) {
+					covered[u] = true
+				}
+			}
+			if len(covered) != p.UMCChannels {
+				t.Errorf("%s %v: union covers %d of %d channels", p.Name, nps, len(covered), p.UMCChannels)
+			}
+		}
+	}
+}
+
+func TestLittlesLawCalibration(t *testing.T) {
+	// Per-core windows must reproduce Table 3's "From Core" bandwidths by
+	// Little's law within 5%.
+	check := func(name string, window int, rtt units.Time, wantGBps float64) {
+		got := float64(window) * 64 / rtt.Nanoseconds()
+		if got < wantGBps*0.95 || got > wantGBps*1.1 {
+			t.Errorf("%s: window %d @ %v -> %.1f GB/s, paper %.1f", name, window, rtt, got, wantGBps)
+		}
+	}
+	p7, p9 := EPYC7302(), EPYC9634()
+	check("7302 core read", p7.CoreReadMSHRs, 124*units.Nanosecond, 14.9)
+	check("7302 core write", p7.CoreWriteWCBs, 124*units.Nanosecond, 3.6)
+	check("9634 core read", p9.CoreReadMSHRs, 141*units.Nanosecond, 14.6)
+	check("9634 core CXL read", p9.CoreCXLReads, 243*units.Nanosecond, 5.4)
+	check("9634 core CXL write", p9.CoreCXLWrites, 243*units.Nanosecond, 2.8)
+	check("9634 CCD->CXL read", p9.CCDDevReadCrd, 243*units.Nanosecond, 23.6)
+	check("9634 CCD->CXL write", p9.CCDDevWriteCrd, 243*units.Nanosecond, 15.8)
+}
+
+func TestIDStrings(t *testing.T) {
+	c := CoreID{CCD: 1, CCX: 0, Core: 3}
+	if c.String() != "ccd1/ccx0/core3" {
+		t.Errorf("CoreID.String() = %q", c.String())
+	}
+	if c.CCXOf().String() != "ccd1/ccx0" {
+		t.Errorf("CCXOf = %q", c.CCXOf().String())
+	}
+	if Near.String() != "near" || Diagonal.String() != "diagonal" {
+		t.Error("position names wrong")
+	}
+	if Position(9).String() != "position(9)" {
+		t.Error("out-of-range position name wrong")
+	}
+	if NPS4.String() != "NPS4" {
+		t.Errorf("NPS String = %q", NPS4.String())
+	}
+	if DRAM.String() != "dram" || CXL.String() != "cxl" {
+		t.Error("memory kind names wrong")
+	}
+	if (Coord{1, 2}).String() != "(1,2)" {
+		t.Error("coord string wrong")
+	}
+}
+
+func TestCoordHops(t *testing.T) {
+	f := func(ax, ay, bx, by int8) bool {
+		a := Coord{int(ax), int(ay)}
+		b := Coord{int(bx), int(by)}
+		// Symmetric, non-negative, zero iff equal.
+		h := a.Hops(b)
+		if h != b.Hops(a) || h < 0 {
+			return false
+		}
+		return (h == 0) == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"EPYC 7302", "7302", "epyc7302"} {
+		if p, ok := ProfileByName(name); !ok || p.Name != "EPYC 7302" {
+			t.Errorf("ProfileByName(%q) failed", name)
+		}
+	}
+	if _, ok := ProfileByName("EPYC 9999"); ok {
+		t.Error("unknown profile should not resolve")
+	}
+}
+
+func TestValidateCatchesBadProfiles(t *testing.T) {
+	bad := func(mutate func(*Profile)) *Profile {
+		p := EPYC7302()
+		mutate(p)
+		return p
+	}
+	cases := map[string]*Profile{
+		"zero cores":        bad(func(p *Profile) { p.Cores = 0 }),
+		"cores not divisor": bad(func(p *Profile) { p.Cores = 17 }),
+		"ccx not divisor":   bad(func(p *Profile) { p.CCXs = 7 }),
+		"odd ccds":          bad(func(p *Profile) { p.CCDs = 3; p.CCXs = 6; p.Cores = 12; p.UMCChannels = 6 }),
+		"no channels":       bad(func(p *Profile) { p.UMCChannels = 0 }),
+		"channel spread":    bad(func(p *Profile) { p.UMCChannels = 10 }),
+		"no windows":        bad(func(p *Profile) { p.CoreReadMSHRs = 0 }),
+		"no tokens":         bad(func(p *Profile) { p.CCXTokens = 0 }),
+		"cxl unset":         bad(func(p *Profile) { p.CXLModules = 2; p.CoreCXLReads = 0 }),
+		"tiny flit": bad(func(p *Profile) {
+			p.CXLModules = 2
+			p.CoreCXLReads = 4
+			p.PLinkReadCap = units.GBps(10)
+			p.CXLFlitSize = 32
+		}),
+		"inverted hops": bad(func(p *Profile) { p.PositionExtraHops = [4]int{2, 1, 0, 3} }),
+	}
+	for name, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken profile", name)
+		}
+	}
+}
+
+func TestPanicsOnBadIndices(t *testing.T) {
+	p := EPYC7302()
+	for name, fn := range map[string]func(){
+		"CCDNode": func() { p.CCDNode(99) },
+		"UMCNode": func() { p.UMCNode(-1) },
+		"UMCSet":  func() { p.UMCSet(NPS(3), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,90 @@
+package traffic
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+func TestChaseCacheTiers(t *testing.T) {
+	// Table 2 "Compute Chiplet" rows: working sets inside a cache tier are
+	// served at that tier's latency.
+	p := topology.EPYC7302()
+	cases := []struct {
+		ws   units.ByteSize
+		want units.Time
+	}{
+		{16 * units.KiB, units.Nanos(1.24)},
+		{256 * units.KiB, units.Nanos(5.66)},
+		{8 * units.MiB, units.Nanos(34.3)},
+	}
+	for _, c := range cases {
+		net := core.New(sim.New(3), p)
+		h, err := RunPointerChase(net, ChaseConfig{WorkingSet: c.ws, Count: 500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Mean() != c.want {
+			t.Errorf("ws=%v: latency %v, want %v", c.ws, h.Mean(), c.want)
+		}
+		if h.Count() != 500 {
+			t.Errorf("ws=%v: count %d", c.ws, h.Count())
+		}
+	}
+}
+
+func TestChaseMemorySpill(t *testing.T) {
+	// A working set beyond the L3 slice goes to memory at the Table 2
+	// position latency.
+	p := topology.EPYC7302()
+	net := core.New(sim.New(3), p)
+	umc, _ := p.UMCAtPosition(0, topology.Near)
+	h, err := RunPointerChase(net, ChaseConfig{
+		WorkingSet: 64 * units.MiB,
+		UMCs:       []int{umc},
+		Count:      1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 124 * units.Nanosecond
+	if h.Mean() < want-4*units.Nanosecond || h.Mean() > want+4*units.Nanosecond {
+		t.Errorf("near memory chase = %v, want ~124ns", h.Mean())
+	}
+}
+
+func TestChaseCXL(t *testing.T) {
+	p := topology.EPYC9634()
+	net := core.New(sim.New(3), p)
+	h, err := RunPointerChase(net, ChaseConfig{
+		WorkingSet: units.GiB,
+		CXL:        true,
+		Modules:    []int{0, 1, 2, 3},
+		Count:      1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 243 * units.Nanosecond
+	if h.Mean() < want-5*units.Nanosecond || h.Mean() > want+5*units.Nanosecond {
+		t.Errorf("CXL chase = %v, want ~243ns", h.Mean())
+	}
+}
+
+func TestChaseErrors(t *testing.T) {
+	p := topology.EPYC7302()
+	net := core.New(sim.New(3), p)
+	if _, err := RunPointerChase(net, ChaseConfig{WorkingSet: units.GiB}); err == nil {
+		t.Error("memory chase without channels should fail")
+	}
+	if _, err := RunPointerChase(net, ChaseConfig{WorkingSet: units.GiB, CXL: true, Modules: []int{0}}); err == nil {
+		t.Error("CXL chase on the 7302 should fail")
+	}
+	net9 := core.New(sim.New(3), topology.EPYC9634())
+	if _, err := RunPointerChase(net9, ChaseConfig{WorkingSet: units.GiB, CXL: true}); err == nil {
+		t.Error("CXL chase without modules should fail")
+	}
+}

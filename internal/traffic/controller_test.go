@@ -1,0 +1,164 @@
+package traffic
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/txn"
+	"repro/internal/units"
+)
+
+// newCtrlFlow builds an adaptive flow without starting it, for direct
+// controller unit tests.
+func newCtrlFlow(t *testing.T, kind core.DestKind, demand units.Bandwidth) *Flow {
+	t.Helper()
+	p := topology.EPYC9634()
+	net := core.New(sim.New(1), p)
+	cfg := FlowConfig{
+		Name: "ctl", Cores: []topology.CoreID{{}}, Op: txn.Read,
+		Kind: kind, UMCs: []int{0}, Modules: []int{0},
+		Demand: demand, Window: 4, Adaptive: true,
+	}
+	f, err := NewFlow(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestControllerEpochSelection(t *testing.T) {
+	dram := newCtrlFlow(t, core.DestDRAM, units.GBps(10))
+	if dram.ctrl.epoch != topology.EPYC9634().IFAdaptEpoch {
+		t.Errorf("DRAM flow epoch = %v, want IF epoch", dram.ctrl.epoch)
+	}
+	cxl := newCtrlFlow(t, core.DestCXL, units.GBps(10))
+	if cxl.ctrl.epoch != topology.EPYC9634().PLinkAdaptEpoch {
+		t.Errorf("CXL flow epoch = %v, want P-link epoch", cxl.ctrl.epoch)
+	}
+}
+
+func TestControllerCongestionSignal(t *testing.T) {
+	f := newCtrlFlow(t, core.DestDRAM, units.GBps(10))
+	c := f.ctrl
+	// Needs at least 8 samples.
+	for i := 0; i < 7; i++ {
+		c.observe(300 * units.Nanosecond)
+	}
+	if c.congested() {
+		t.Error("congestion declared before enough samples")
+	}
+	// Feed a low floor then inflated samples: EWMA climbs past 1.75x min.
+	c.observe(120 * units.Nanosecond)
+	for i := 0; i < 50; i++ {
+		c.observe(400 * units.Nanosecond)
+	}
+	if !c.congested() {
+		t.Errorf("rtt %0.f over floor %.0f should be congested", c.rttEWMA, c.rttMin)
+	}
+	// Back to the floor: signal clears.
+	for i := 0; i < 100; i++ {
+		c.observe(121 * units.Nanosecond)
+	}
+	if c.congested() {
+		t.Error("congestion stuck on after recovery")
+	}
+}
+
+func TestControllerTargetWindowTracksDemand(t *testing.T) {
+	f := newCtrlFlow(t, core.DestDRAM, units.GBps(10))
+	c := f.ctrl
+	for i := 0; i < 10; i++ {
+		c.observe(128 * units.Nanosecond)
+	}
+	// 10 GB/s x 128 ns / 64 B x 1.25 slack = 25 tokens.
+	if got := c.targetWindow(); got < 23 || got > 27 {
+		t.Errorf("targetWindow = %d, want ~25", got)
+	}
+	f.SetDemand(units.GBps(20))
+	if got := c.targetWindow(); got < 47 || got > 53 {
+		t.Errorf("doubled demand targetWindow = %d, want ~50", got)
+	}
+	f.SetDemand(0) // closed loop: window sized to the cores' MLP
+	if got := c.targetWindow(); got != 64*len(f.cfg.Cores) {
+		t.Errorf("closed-loop targetWindow = %d", got)
+	}
+}
+
+func TestControllerGovernorRampAndReclaim(t *testing.T) {
+	f := newCtrlFlow(t, core.DestDRAM, units.GBps(20))
+	c := f.ctrl
+	// First epoch initializes the grant at the demand.
+	c.addBytes(units.ByteSize(2 * units.KB))
+	c.govern()
+	if got := c.paceCap(); got != units.GBps(20) {
+		t.Errorf("initial grant = %v, want the demand", got)
+	}
+	// Under-use: the grant reclaims down to achieved + one ramp step.
+	// 10 GB/s over a 20 us epoch = 200 KB.
+	c.epochBytes = units.ByteSize(200 * units.KB)
+	c.govern()
+	if got := c.paceCap().GBpsValue(); got < 10.2 || got > 10.5 {
+		t.Errorf("reclaimed grant = %.2f GB/s, want ~10.3", got)
+	}
+	// Saturated: the grant widens one step per epoch.
+	before := c.paceCap()
+	c.epochBytes = units.ByteSize(float64(before) * 20e-6) // exactly the grant
+	c.govern()
+	step := c.paceCap() - before
+	want := topology.EPYC9634().HarvestRampIF
+	if step != want {
+		t.Errorf("ramp step = %v, want %v", step, want)
+	}
+}
+
+func TestPaceRateClampsToGrantAndLimit(t *testing.T) {
+	f := newCtrlFlow(t, core.DestDRAM, units.GBps(20))
+	if f.paceRate() != units.GBps(20) {
+		t.Errorf("unclamped paceRate = %v", f.paceRate())
+	}
+	f.ctrl.rateCap = 12e9
+	if got := f.paceRate(); got != units.GBps(12) {
+		t.Errorf("grant-clamped paceRate = %v, want 12", got)
+	}
+	f.SetRateLimit(units.GBps(8))
+	if got := f.paceRate(); got != units.GBps(8) {
+		t.Errorf("limit-clamped paceRate = %v, want 8", got)
+	}
+	f.SetRateLimit(0)
+	if got := f.paceRate(); got != units.GBps(12) {
+		t.Errorf("cleared limit paceRate = %v, want 12", got)
+	}
+}
+
+func TestControllerDecayDebtProportionality(t *testing.T) {
+	// Two controllers with 2:1 demand targets decay 2:1 over many epochs
+	// under a shared congestion signal — the proportional-share mechanism.
+	mk := func(demand float64) *controller {
+		f := newCtrlFlow(t, core.DestDRAM, units.GBps(demand))
+		c := f.ctrl
+		c.rttMin, c.rttEWMA, c.samples = 128, 300, 100 // congested
+		f.window.Resize(60)
+		return c
+	}
+	a, b := mk(10), mk(20)
+	decA, decB := 0, 0
+	for i := 0; i < 40; i++ {
+		wa, wb := a.flow.window.Capacity(), b.flow.window.Capacity()
+		a.tick()
+		b.tick()
+		decA += wa - a.flow.window.Capacity()
+		decB += wb - b.flow.window.Capacity()
+		// Hold the windows fixed so decay pressure stays comparable.
+		a.flow.window.Resize(60)
+		b.flow.window.Resize(60)
+		// Keep the congestion state pinned.
+		a.rttEWMA, b.rttEWMA = 300, 300
+		a.rttMin, b.rttMin = 128, 128
+	}
+	ratio := float64(decA) / float64(decB)
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Errorf("decay ratio = %.2f (A=%d, B=%d), want ~2 (inverse of demand)", ratio, decA, decB)
+	}
+}

@@ -1,0 +1,147 @@
+package traffic
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/txn"
+	"repro/internal/units"
+)
+
+// runPair launches two adaptive flows from different compute chiplets that
+// contend for one shared memory channel on the 9634 (UMC read capacity
+// 34.9 GB/s — the equal share is 17.45) and reports their steady-state
+// bandwidths. Chiplets 2 and 3 are equidistant from channel 0 (both +2
+// hops), so the flows see identical base round-trip times, and sourcing
+// from different chiplets keeps every hardware token pool private to its
+// flow: the bandwidth partition is decided purely at the shared link —
+// the paper's Fig 4 setting.
+func runPair(t *testing.T, demandA, demandB units.Bandwidth) (a, b float64) {
+	t.Helper()
+	p := topology.EPYC9634()
+	eng := sim.New(11)
+	net := core.New(eng, p)
+	mk := func(name string, ccd int, d units.Bandwidth) *Flow {
+		return MustFlow(net, FlowConfig{
+			Name: name, Op: txn.Read,
+			Kind: core.DestDRAM, UMCs: []int{0},
+			Cores: []topology.CoreID{
+				{CCD: ccd, Core: 0}, {CCD: ccd, Core: 1}, {CCD: ccd, Core: 2}},
+			Demand: d, Window: 4, Adaptive: true,
+		})
+	}
+	fa := mk("A", 2, demandA)
+	fb := mk("B", 3, demandB)
+	fa.Start()
+	fb.Start()
+	eng.RunFor(1500 * units.Microsecond) // let the controllers converge
+	fa.ResetStats()
+	fb.ResetStats()
+	eng.RunFor(300 * units.Microsecond)
+	return fa.Achieved().GBpsValue(), fb.Achieved().GBpsValue()
+}
+
+const umcCap = 34.9 // 9634 UMC read ceiling, GB/s
+
+func TestSharingCase1Undersubscribed(t *testing.T) {
+	// Fig 4 case 1: aggregate demand below capacity — both flows get what
+	// they asked for, regardless of link type.
+	a, b := runPair(t, units.GBps(10), units.GBps(15))
+	if a < 9.0 || a > 11.0 {
+		t.Errorf("flow A = %.1f GB/s, want ~10", a)
+	}
+	if b < 13.5 || b > 16.5 {
+		t.Errorf("flow B = %.1f GB/s, want ~15", b)
+	}
+}
+
+func TestSharingCase3EqualDemands(t *testing.T) {
+	// Fig 4 case 3: equal over-subscribing demands split the link evenly.
+	a, b := runPair(t, units.GBps(30), units.GBps(30))
+	total := a + b
+	if total < umcCap*0.88 || total > umcCap*1.06 {
+		t.Errorf("aggregate = %.1f GB/s, want ~%.1f (UMC cap)", total, umcCap)
+	}
+	ratio := a / b
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("equal demands split %.1f/%.1f (ratio %.2f), want ~even", a, b, ratio)
+	}
+}
+
+func TestSharingCase2AggressorBeatsEqualShare(t *testing.T) {
+	// Fig 4 case 2: one flow asks for less than the equal share; the
+	// aggressive sender takes more than its equal share.
+	a, b := runPair(t, units.GBps(10), units.GBps(50))
+	if b <= umcCap/2+1.0 {
+		t.Errorf("aggressor B = %.1f GB/s, must exceed the equal share %.1f", b, umcCap/2)
+	}
+	if a >= b {
+		t.Errorf("modest flow A (%.1f) must not beat the aggressor (%.1f)", a, b)
+	}
+	total := a + b
+	if total < umcCap*0.88 || total > umcCap*1.06 {
+		t.Errorf("aggregate = %.1f GB/s, want ~%.1f", total, umcCap)
+	}
+}
+
+func TestSharingCase4HigherDemandWins(t *testing.T) {
+	// Fig 4 case 4: both demands exceed the equal share; the higher one
+	// takes disproportionately more (sender-driven aggressive behaviour).
+	a, b := runPair(t, units.GBps(20), units.GBps(40))
+	if b <= umcCap/2+1.0 {
+		t.Errorf("aggressor B = %.1f GB/s, must exceed the equal share", b)
+	}
+	if b <= a*1.25 {
+		t.Errorf("B (%.1f) should clearly beat A (%.1f): share follows demand", b, a)
+	}
+	total := a + b
+	if total < umcCap*0.88 || total > umcCap*1.06 {
+		t.Errorf("aggregate = %.1f GB/s, want ~%.1f", total, umcCap)
+	}
+}
+
+func TestHarvestAfterThrottle(t *testing.T) {
+	// Fig 5 mechanics: when flow 0 throttles, flow 1 ramps into the freed
+	// bandwidth within a few adaptation epochs, and the two re-converge
+	// after the throttle ends.
+	p := topology.EPYC7302()
+	eng := sim.New(13)
+	net := core.New(eng, p)
+	umcs := p.UMCSet(topology.NPS1, 0)
+	mk := func(name string, ccx int) *Flow {
+		return MustFlow(net, FlowConfig{
+			Name: name, Op: txn.Read, Kind: core.DestDRAM, UMCs: umcs,
+			Cores: []topology.CoreID{
+				{CCD: 0, CCX: ccx, Core: 0}, {CCD: 0, CCX: ccx, Core: 1}},
+			Demand: units.GBps(20), Window: 4, Adaptive: true,
+		})
+	}
+	f0, f1 := mk("f0", 0), mk("f1", 1)
+	f0.Start()
+	f1.Start()
+	eng.RunFor(400 * units.Microsecond)
+	f1.ResetStats()
+	eng.RunFor(100 * units.Microsecond)
+	baseline := f1.Achieved().GBpsValue()
+
+	f0.SetDemand(units.GBps(6)) // throttle flow 0 hard
+	eng.RunFor(300 * units.Microsecond)
+	f1.ResetStats()
+	eng.RunFor(100 * units.Microsecond)
+	harvested := f1.Achieved().GBpsValue()
+	if harvested < baseline+2 {
+		t.Errorf("flow 1 did not harvest: %.1f -> %.1f GB/s", baseline, harvested)
+	}
+
+	f0.SetDemand(units.GBps(20)) // throttle ends
+	eng.RunFor(600 * units.Microsecond)
+	f0.ResetStats()
+	f1.ResetStats()
+	eng.RunFor(100 * units.Microsecond)
+	a, b := f0.Achieved().GBpsValue(), f1.Achieved().GBpsValue()
+	if a < b*0.6 || a > b*1.67 {
+		t.Errorf("flows did not re-converge after throttle: %.1f vs %.1f", a, b)
+	}
+}

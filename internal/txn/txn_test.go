@@ -1,0 +1,84 @@
+package txn
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+func TestOpStrings(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" || NTWrite.String() != "ntwrite" {
+		t.Error("op names wrong")
+	}
+	if Op(9).String() != "op(9)" {
+		t.Error("out-of-range op name wrong")
+	}
+	if Read.IsWrite() {
+		t.Error("read is not a write")
+	}
+	if !Write.IsWrite() || !NTWrite.IsWrite() {
+		t.Error("writes should report IsWrite")
+	}
+}
+
+func TestEndpointStrings(t *testing.T) {
+	cases := map[string]Endpoint{
+		"core:ccd1/ccx0/core3": CoreEP(topology.CoreID{CCD: 1, CCX: 0, Core: 3}),
+		"llc:ccd2/ccx1":        LLCEP(topology.CCXID{CCD: 2, CCX: 1}),
+		"dram:umc5":            DRAMEP(5),
+		"cxl:mod2":             CXLEP(2),
+	}
+	for want, ep := range cases {
+		if got := ep.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+	if EndpointKind(7).String() != "endpoint(7)" {
+		t.Error("out-of-range kind name wrong")
+	}
+	if CoreEndpoint.String() != "core" || CXLEndpoint.String() != "cxl" {
+		t.Error("kind names wrong")
+	}
+}
+
+func TestCoreIDRoundTrip(t *testing.T) {
+	id := topology.CoreID{CCD: 2, CCX: 1, Core: 6}
+	if got := CoreEP(id).CoreID(); got != id {
+		t.Errorf("round trip = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("CoreID of non-core endpoint should panic")
+		}
+	}()
+	DRAMEP(0).CoreID()
+}
+
+func TestFlowReverse(t *testing.T) {
+	f := Flow{Src: CoreEP(topology.CoreID{}), Dst: DRAMEP(3)}
+	r := f.Reverse()
+	if r.Src != f.Dst || r.Dst != f.Src {
+		t.Error("Reverse is wrong")
+	}
+	if r.Reverse() != f {
+		t.Error("double Reverse should be identity")
+	}
+	if f.String() != "core:ccd0/ccx0/core0 -> dram:umc3" {
+		t.Errorf("Flow.String() = %q", f.String())
+	}
+}
+
+func TestTransactionLatency(t *testing.T) {
+	tx := &Transaction{ID: 1, Op: Read, Size: units.CacheLine, Issued: 100}
+	if tx.Latency() != 0 {
+		t.Error("incomplete transaction should report zero latency")
+	}
+	tx.Completed = 350
+	if tx.Latency() != 250 {
+		t.Errorf("Latency = %v", tx.Latency())
+	}
+	if tx.String() == "" {
+		t.Error("String should render")
+	}
+}
