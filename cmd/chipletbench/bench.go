@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// benchMeasurement is one micro-benchmark's steady-state cost.
+type benchMeasurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchReport is the machine-readable performance snapshot written by
+// -bench: the event-scheduler micro-benchmarks plus a timed end-to-end
+// run of every reproduction experiment.
+type benchReport struct {
+	GoMaxProcs       int              `json:"gomaxprocs"`
+	EngineEventChurn benchMeasurement `json:"engine_event_churn"`
+	EngineHeapFanout benchMeasurement `json:"engine_heap_fanout"`
+	ReproduceScale   int              `json:"reproduce_scale"`
+	ReproduceSeconds float64          `json:"reproduce_seconds"`
+}
+
+func measure(r testing.BenchmarkResult) benchMeasurement {
+	return benchMeasurement{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// runBenchSuite mirrors the internal/sim benchmarks (single-event churn
+// and wide fanout) and times the full experiment suite at -scale 8, then
+// writes the JSON report.
+func runBenchSuite(path string) error {
+	churn := testing.Benchmark(func(b *testing.B) {
+		e := sim.New(1)
+		b.ReportAllocs()
+		var tick func()
+		n := 0
+		tick = func() {
+			n++
+			if n < b.N {
+				e.After(units.Nanosecond, tick)
+			}
+		}
+		b.ResetTimer()
+		e.After(0, tick)
+		e.Run()
+	})
+	fmt.Printf("EngineEventChurn  %v\n", churn)
+
+	fanout := testing.Benchmark(func(b *testing.B) {
+		e := sim.New(1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.At(e.Now()+units.Time(i%1000)+1, func() {})
+			if e.Pending() > 4096 {
+				e.Step()
+			}
+		}
+		e.Run()
+	})
+	fmt.Printf("EngineHeapFanout  %v\n", fanout)
+
+	const scale = 8
+	opt := harness.Options{Seed: 42, TimeScale: scale}
+	start := time.Now()
+	if err := runAllExperiments(opt); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("reproduce (scale %d)  %.1fs\n", scale, elapsed.Seconds())
+
+	rep := benchReport{
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
+		EngineEventChurn: measure(churn),
+		EngineHeapFanout: measure(fanout),
+		ReproduceScale:   scale,
+		ReproduceSeconds: elapsed.Seconds(),
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// runAllExperiments runs every table, figure and ablation the reproduce
+// command covers, discarding the rendered output.
+func runAllExperiments(opt harness.Options) error {
+	for _, p := range topology.Profiles() {
+		if _, err := harness.Table2(p, opt); err != nil {
+			return err
+		}
+		harness.Table3(p, opt)
+	}
+	if _, err := harness.Figure3(opt); err != nil {
+		return err
+	}
+	if _, err := harness.Figure4(opt); err != nil {
+		return err
+	}
+	if _, err := harness.Figure5(opt); err != nil {
+		return err
+	}
+	if _, err := harness.Figure6(opt); err != nil {
+		return err
+	}
+	if _, err := harness.AblationTrafficManager(opt); err != nil {
+		return err
+	}
+	for _, p := range topology.Profiles() {
+		if _, err := harness.AblationNPS(p, opt); err != nil {
+			return err
+		}
+	}
+	if _, err := harness.AblationNUMA(opt); err != nil {
+		return err
+	}
+	if _, err := harness.AblationCXLFlit(opt); err != nil {
+		return err
+	}
+	if _, err := harness.AblationNoCModel(opt); err != nil {
+		return err
+	}
+	return nil
+}

@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	reproduce [-experiment all|table1|table2|table3|fig3|fig4|fig5|fig6] [-scale N] [-seed N]
+//	reproduce [-experiment all|table1|table2|table3|fig3|fig4|fig5|fig6] [-scale N] [-seed N] [-workers N]
 //
 // -scale divides the steady-state measurement windows (1 = full length, as
-// recorded in EXPERIMENTS.md; larger is faster but noisier).
+// recorded in EXPERIMENTS.md; larger is faster but noisier). -workers sets
+// how many experiment cells run concurrently (0 = GOMAXPROCS, 1 = serial);
+// results are identical for every worker count.
 package main
 
 import (
@@ -25,9 +27,10 @@ func main() {
 	experiment := flag.String("experiment", "all", "which experiment to run")
 	scale := flag.Int("scale", 1, "time-scale divisor for measurement windows")
 	seed := flag.Uint64("seed", 42, "simulation seed")
+	workers := flag.Int("workers", 0, "concurrent experiment cells (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
-	opt := harness.Options{Seed: *seed, TimeScale: *scale}
+	opt := harness.Options{Seed: *seed, TimeScale: *scale, Workers: *workers}
 	run := map[string]func(harness.Options) error{
 		"table1":   runTable1,
 		"table2":   runTable2,

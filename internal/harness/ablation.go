@@ -46,8 +46,9 @@ func AblationTrafficManager(opt Options) ([]A1Result, error) {
 		return nil, err
 	}
 
-	var out []A1Result
-	for i, c := range Fig4Cases() {
+	cases := Fig4Cases()
+	return runCells(opt, len(cases), func(i int) (A1Result, error) {
+		c := cases[i]
 		p := sc.Profile()
 		net := opt.newNet(p)
 		cfgA, cfgB := sc.FlowA(p), sc.FlowB(p)
@@ -58,19 +59,19 @@ func AblationTrafficManager(opt Options) ([]A1Result, error) {
 		cfgB.Demand = units.Bandwidth(float64(sc.Capacity) * c.FracB)
 		fa, err := traffic.NewFlow(net, cfgA)
 		if err != nil {
-			return nil, err
+			return A1Result{}, err
 		}
 		fb, err := traffic.NewFlow(net, cfgB)
 		if err != nil {
-			return nil, err
+			return A1Result{}, err
 		}
 		mgr := trafficmgr.New(net.Engine(), 20*units.Microsecond, trafficmgr.MaxMinFair)
 		mgr.AddResource("umc0/rd", p.UMCReadCap)
 		if err := mgr.Register(fa, "umc0/rd"); err != nil {
-			return nil, err
+			return A1Result{}, err
 		}
 		if err := mgr.Register(fb, "umc0/rd"); err != nil {
-			return nil, err
+			return A1Result{}, err
 		}
 		fa.Start()
 		fb.Start()
@@ -80,14 +81,13 @@ func AblationTrafficManager(opt Options) ([]A1Result, error) {
 		fb.ResetStats()
 		net.Engine().RunFor(opt.scale(200 * units.Microsecond))
 
-		out = append(out, A1Result{
+		return A1Result{
 			Case:    c.Name,
 			DemandA: cfgA.Demand, DemandB: cfgB.Demand,
 			SenderA: baseline[i].AchievedA, SenderB: baseline[i].AchievedB,
 			ManagedA: fa.Achieved(), ManagedB: fb.Achieved(),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // RenderA1 renders the traffic-manager ablation.
@@ -120,8 +120,9 @@ type A2Result struct {
 // the bandwidth one chiplet can draw: NPS4 keeps traffic on near channels
 // (lowest latency, fewest channels), NPS1 stripes across the whole die.
 func AblationNPS(p *topology.Profile, opt Options) ([]A2Result, error) {
-	var out []A2Result
-	for _, nps := range []topology.NPS{topology.NPS1, topology.NPS2, topology.NPS4} {
+	npss := []topology.NPS{topology.NPS1, topology.NPS2, topology.NPS4}
+	return runCells(opt, len(npss), func(i int) (A2Result, error) {
+		nps := npss[i]
 		set := p.UMCSet(nps, 0)
 
 		net := opt.newNet(p)
@@ -129,7 +130,7 @@ func AblationNPS(p *topology.Profile, opt Options) ([]A2Result, error) {
 			WorkingSet: units.GiB, UMCs: set, Count: 2000,
 		})
 		if err != nil {
-			return nil, err
+			return A2Result{}, err
 		}
 
 		net = opt.newNet(p)
@@ -142,12 +143,11 @@ func AblationNPS(p *topology.Profile, opt Options) ([]A2Result, error) {
 		f.ResetStats()
 		net.Engine().RunFor(opt.scale(50 * units.Microsecond))
 
-		out = append(out, A2Result{
+		return A2Result{
 			Profile: p.Name, NPS: nps, Channels: len(set),
 			Latency: h.Mean(), ReadBW: f.Achieved(),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // RenderA2 renders the NPS ablation.

@@ -26,15 +26,33 @@ type A3Result struct {
 // EPYC 7302 system: unloaded pointer-chase latency and the whole-socket
 // read ceiling of each tier.
 func AblationNUMA(opt Options) ([]A3Result, error) {
-	// Local tier: one socket of the pair, near channel.
-	sys := numa.NewSystem(sim.New(opt.Seed), numa.DefaultDual7302())
-	p := sys.Socket(0).Profile()
-
-	localLat := chaseLocal(sys, 1000)
-	remoteLat := chaseRemote(sys, 1000)
-
-	localBW := socketReadBW(opt)
-	remoteBW := remoteReadBW(opt)
+	// Three cells: the latency chases (which share one dual-socket system
+	// and must stay back-to-back on its engine), and the two independent
+	// bandwidth saturations.
+	type a3meas struct {
+		localLat, remoteLat units.Time
+		bw                  units.Bandwidth
+	}
+	cells, err := runCells(opt, 3, func(i int) (a3meas, error) {
+		switch i {
+		case 0:
+			sys := numa.NewSystem(sim.New(opt.Seed), numa.DefaultDual7302())
+			return a3meas{
+				localLat:  chaseLocal(sys, 1000),
+				remoteLat: chaseRemote(sys, 1000),
+			}, nil
+		case 1:
+			return a3meas{bw: socketReadBW(opt)}, nil
+		default:
+			return a3meas{bw: remoteReadBW(opt)}, nil
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	p := topology.EPYC7302()
+	localLat, remoteLat := cells[0].localLat, cells[0].remoteLat
+	localBW, remoteBW := cells[1].bw, cells[2].bw
 
 	return []A3Result{
 		{Tier: "local DRAM (near)", Latency: localLat, ReadBW: localBW,
@@ -145,17 +163,17 @@ type A4Result struct {
 // cacheline occupies a full flit either way, and 256 B flits quarter the
 // payload rate of random cacheline traffic.
 func AblationCXLFlit(opt Options) ([]A4Result, error) {
-	var out []A4Result
-	for _, flit := range []units.ByteSize{68, 256} {
+	flits := []units.ByteSize{68, 256}
+	return runCells(opt, len(flits), func(i int) (A4Result, error) {
 		p := topology.EPYC9634()
-		p.CXLFlitSize = flit
+		p.CXLFlitSize = flits[i]
 
 		net := icore.New(sim.New(opt.Seed), p)
 		h, err := traffic.RunPointerChase(net, traffic.ChaseConfig{
 			WorkingSet: units.GiB, CXL: true, Modules: allModules(p), Count: 1500,
 		})
 		if err != nil {
-			return nil, err
+			return A4Result{}, err
 		}
 
 		net = icore.New(sim.New(opt.Seed), p)
@@ -168,9 +186,8 @@ func AblationCXLFlit(opt Options) ([]A4Result, error) {
 		f.ResetStats()
 		net.Engine().RunFor(opt.scale(50 * units.Microsecond))
 
-		out = append(out, A4Result{FlitSize: flit, Latency: h.Mean(), CPURead: f.Achieved()})
-	}
-	return out, nil
+		return A4Result{FlitSize: flits[i], Latency: h.Mean(), CPURead: f.Achieved()}, nil
+	})
 }
 
 // RenderA4 renders the flit-framing ablation.

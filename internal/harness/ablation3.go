@@ -58,20 +58,26 @@ func AblationNoCModel(opt Options) (*A5Result, error) {
 	}
 	res := &A5Result{Mode: cfg.Mode, Saturation: satBW, Unloaded: unloaded}
 
-	// Step 2: sweep both models over the same offered loads.
-	for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 0.9, 1.0} {
-		offered := units.Bandwidth(float64(satBW) * frac)
+	// Step 2: sweep both models over the same offered loads — one cell per
+	// sweep point, each running its own pair of private engines.
+	fracs := []float64{0.2, 0.4, 0.6, 0.8, 0.9, 1.0}
+	points, err := runCells(opt, len(fracs), func(i int) (A5Point, error) {
+		offered := units.Bandwidth(float64(satBW) * fracs[i])
 		rBW, rAvg, err := driveRouter(cfg, offered, window, opt.Seed)
 		if err != nil {
-			return nil, err
+			return A5Point{}, err
 		}
 		aBW, aAvg := driveAggregate(satBW, unloaded, offered, window, opt.Seed)
-		res.Points = append(res.Points, A5Point{
+		return A5Point{
 			Offered:  offered,
 			RouterBW: rBW, RouterAvg: rAvg,
 			AggregateBW: aBW, AggregateAvg: aAvg,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Points = points
 	return res, nil
 }
 

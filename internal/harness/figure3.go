@@ -69,34 +69,28 @@ func fig3Scenarios() []fig3Scenario {
 
 // Figure3 regenerates every panel of the paper's Figure 3: average and
 // P999 latency as the offered load sweeps from idle to the link's maximum,
-// for sequential reads and non-temporal writes.
+// for sequential reads and non-temporal writes. Each (scenario, op) curve
+// is one cell of the worker pool; the points within a curve stay serial
+// because the sweep targets fractions of the measured closed-loop maximum.
 func Figure3(opt Options) ([]Figure3Panel, error) {
+	scs := fig3Scenarios()
+	ops := []txn.Op{txn.Read, txn.NTWrite}
+	curves, err := runCells(opt, len(scs)*len(ops), func(i int) ([]LoadPoint, error) {
+		sc := scs[i/len(ops)]
+		return figure3Curve(sc, sc.prof(), ops[i%len(ops)], opt)
+	})
+	if err != nil {
+		return nil, err
+	}
 	var panels []Figure3Panel
-	for _, sc := range fig3Scenarios() {
-		panel, err := figure3Panel(sc, opt)
-		if err != nil {
-			return nil, err
-		}
-		panels = append(panels, *panel)
+	for i, sc := range scs {
+		panels = append(panels, Figure3Panel{
+			ID: sc.id, Profile: sc.prof().Name, Scenario: sc.label,
+			Read:  curves[i*len(ops)],
+			Write: curves[i*len(ops)+1],
+		})
 	}
 	return panels, nil
-}
-
-func figure3Panel(sc fig3Scenario, opt Options) (*Figure3Panel, error) {
-	p := sc.prof()
-	panel := &Figure3Panel{ID: sc.id, Profile: p.Name, Scenario: sc.label}
-	for _, op := range []txn.Op{txn.Read, txn.NTWrite} {
-		pts, err := figure3Curve(sc, p, op, opt)
-		if err != nil {
-			return nil, err
-		}
-		if op == txn.Read {
-			panel.Read = pts
-		} else {
-			panel.Write = pts
-		}
-	}
-	return panel, nil
 }
 
 func figure3Curve(sc fig3Scenario, p *topology.Profile, op txn.Op, opt Options) ([]LoadPoint, error) {

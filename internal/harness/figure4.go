@@ -125,52 +125,53 @@ func Figure4Scenarios() []Fig4Scenario {
 	}
 }
 
-// Figure4Run evaluates one scenario across the four demand cases.
-func Figure4Run(sc Fig4Scenario, opt Options) ([]Fig4Result, error) {
-	var out []Fig4Result
-	for _, c := range Fig4Cases() {
-		p := sc.Profile()
-		net := opt.newNet(p)
-		cfgA, cfgB := sc.FlowA(p), sc.FlowB(p)
-		cfgA.Demand = units.Bandwidth(float64(sc.Capacity) * c.FracA)
-		cfgB.Demand = units.Bandwidth(float64(sc.Capacity) * c.FracB)
-		fa, err := traffic.NewFlow(net, cfgA)
-		if err != nil {
-			return nil, err
-		}
-		fb, err := traffic.NewFlow(net, cfgB)
-		if err != nil {
-			return nil, err
-		}
-		fa.Start()
-		fb.Start()
-		// Convergence time is set by the adaptation epochs, which model
-		// hardware time constants — it must not shrink with TimeScale.
-		net.Engine().RunFor(sc.Converge)
-		fa.ResetStats()
-		fb.ResetStats()
-		net.Engine().RunFor(opt.scale(600 * units.Microsecond))
-		out = append(out, Fig4Result{
-			Profile: p.Name, Link: sc.Link, Case: c.Name,
-			DemandA: cfgA.Demand, DemandB: cfgB.Demand,
-			AchievedA: fa.Achieved(), AchievedB: fb.Achieved(),
-			Capacity: sc.Capacity,
-		})
+// figure4Cell runs one (scenario, demand case) cell on a private engine.
+func figure4Cell(sc Fig4Scenario, c Fig4Case, opt Options) (Fig4Result, error) {
+	p := sc.Profile()
+	net := opt.newNet(p)
+	cfgA, cfgB := sc.FlowA(p), sc.FlowB(p)
+	cfgA.Demand = units.Bandwidth(float64(sc.Capacity) * c.FracA)
+	cfgB.Demand = units.Bandwidth(float64(sc.Capacity) * c.FracB)
+	fa, err := traffic.NewFlow(net, cfgA)
+	if err != nil {
+		return Fig4Result{}, err
 	}
-	return out, nil
+	fb, err := traffic.NewFlow(net, cfgB)
+	if err != nil {
+		return Fig4Result{}, err
+	}
+	fa.Start()
+	fb.Start()
+	// Convergence time is set by the adaptation epochs, which model
+	// hardware time constants — it must not shrink with TimeScale.
+	net.Engine().RunFor(sc.Converge)
+	fa.ResetStats()
+	fb.ResetStats()
+	net.Engine().RunFor(opt.scale(600 * units.Microsecond))
+	return Fig4Result{
+		Profile: p.Name, Link: sc.Link, Case: c.Name,
+		DemandA: cfgA.Demand, DemandB: cfgB.Demand,
+		AchievedA: fa.Achieved(), AchievedB: fb.Achieved(),
+		Capacity: sc.Capacity,
+	}, nil
 }
 
-// Figure4 evaluates every scenario and case.
+// Figure4Run evaluates one scenario across the four demand cases.
+func Figure4Run(sc Fig4Scenario, opt Options) ([]Fig4Result, error) {
+	cases := Fig4Cases()
+	return runCells(opt, len(cases), func(i int) (Fig4Result, error) {
+		return figure4Cell(sc, cases[i], opt)
+	})
+}
+
+// Figure4 evaluates every scenario and case, one cell per
+// (scenario, case) pair across the worker pool.
 func Figure4(opt Options) ([]Fig4Result, error) {
-	var out []Fig4Result
-	for _, sc := range Figure4Scenarios() {
-		res, err := Figure4Run(sc, opt)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, res...)
-	}
-	return out, nil
+	scs := Figure4Scenarios()
+	cases := Fig4Cases()
+	return runCells(opt, len(scs)*len(cases), func(i int) (Fig4Result, error) {
+		return figure4Cell(scs[i/len(cases)], cases[i%len(cases)], opt)
+	})
 }
 
 // RenderFigure4 renders the partition grid as text.

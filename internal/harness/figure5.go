@@ -139,17 +139,12 @@ func shiftPoints(pts []telemetry.Point, t0 units.Time) []telemetry.Point {
 	return out
 }
 
-// Figure5 traces every scenario.
+// Figure5 traces every scenario, one pool cell per panel.
 func Figure5(opt Options) ([]*Fig5Result, error) {
-	var out []*Fig5Result
-	for _, sc := range Figure5Scenarios() {
-		r, err := Figure5Run(sc, opt)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	scs := Figure5Scenarios()
+	return runCells(opt, len(scs), func(i int) (*Fig5Result, error) {
+		return Figure5Run(scs[i], opt)
+	})
 }
 
 func meanRate(ts *telemetry.TimeSeries, from, to units.Time) units.Bandwidth {

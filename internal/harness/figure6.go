@@ -89,17 +89,18 @@ func fig6Settings() []fig6Setting {
 // barely disturb reads — write acks are small.
 func Figure6(opt Options) ([]Fig6Curve, error) {
 	p := topology.EPYC9634()
-	var curves []Fig6Curve
-	for _, setting := range fig6Settings() {
-		for _, frontOp := range []txn.Op{txn.Read, txn.NTWrite} {
-			for _, bgOp := range []txn.Op{txn.Read, txn.NTWrite} {
-				c, err := figure6Curve(p, setting, frontOp, bgOp, opt)
-				if err != nil {
-					return nil, err
-				}
-				curves = append(curves, *c)
-			}
-		}
+	settings := fig6Settings()
+	ops := []txn.Op{txn.Read, txn.NTWrite}
+	grid := len(ops) * len(ops)
+	results, err := runCells(opt, len(settings)*grid, func(i int) (*Fig6Curve, error) {
+		return figure6Curve(p, settings[i/grid], ops[i/len(ops)%len(ops)], ops[i%len(ops)], opt)
+	})
+	if err != nil {
+		return nil, err
+	}
+	curves := make([]Fig6Curve, len(results))
+	for i, c := range results {
+		curves[i] = *c
 	}
 	return curves, nil
 }

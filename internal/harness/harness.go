@@ -17,7 +17,7 @@ import (
 	"repro/internal/units"
 )
 
-// Options control experiment durations and determinism.
+// Options control experiment durations, determinism, and parallelism.
 type Options struct {
 	// Seed drives every random decision; equal seeds replay identically.
 	Seed uint64
@@ -25,6 +25,11 @@ type Options struct {
 	// full experiment (used by cmd/reproduce and the benchmarks); tests
 	// pass 4 for a quick pass with looser statistics.
 	TimeScale int
+	// Workers is the experiment-cell pool width: independent cells (each
+	// with a private engine) run on this many goroutines. 0 means
+	// GOMAXPROCS; 1 forces strictly serial execution. Results are
+	// identical for every value — see runCells.
+	Workers int
 }
 
 // DefaultOptions runs experiments at full length with a fixed seed.

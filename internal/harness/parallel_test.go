@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/link"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+	"repro/internal/txn"
+	"repro/internal/units"
+
+	icore "repro/internal/core"
+)
+
+// TestParallelMatchesSerial pins the determinism contract of the worker
+// pool: a parallel run of a full experiment must be byte-identical to the
+// serial run, because every cell builds its own engine from the same seed
+// and shares nothing.
+func TestParallelMatchesSerial(t *testing.T) {
+	serial := quick()
+	serial.Workers = 1
+	parallel := quick()
+	parallel.Workers = 4
+
+	sc := Figure4Scenarios()[0]
+	want, err := Figure4Run(sc, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Figure4Run(sc, parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("parallel Figure4Run diverged from serial:\nserial:   %+v\nparallel: %+v", want, got)
+	}
+}
+
+// TestParallelChannelStats goes one level deeper than the experiment
+// results: it snapshots every channel's Stats in each cell's network and
+// requires the full snapshots — counters, busy time, queueing percentiles
+// — to match between serial and parallel runs.
+func TestParallelChannelStats(t *testing.T) {
+	want := channelSnapshots(t, 1)
+	got := channelSnapshots(t, 4)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("per-channel stats diverged between serial and 4-worker runs")
+	}
+}
+
+func channelSnapshots(t *testing.T, workers int) [][]link.Stats {
+	t.Helper()
+	opt := quick()
+	opt.Workers = workers
+	p := topology.EPYC7302()
+	snaps, err := runCells(opt, 4, func(i int) ([]link.Stats, error) {
+		net := opt.newNet(p)
+		f := traffic.MustFlow(net, traffic.FlowConfig{
+			Name: "det", Cores: ccdCores(p, i%p.CCDs), Op: txn.Read,
+			Kind: icore.DestDRAM, UMCs: p.UMCSet(topology.NPS1, 0),
+		})
+		f.Start()
+		net.Engine().RunFor(opt.scale(20 * units.Microsecond))
+		var stats []link.Stats
+		for _, ch := range net.Channels() {
+			stats = append(stats, ch.Stats())
+		}
+		return stats, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snaps
+}
+
+// TestRunCellsOrderAndErrors checks the pool preserves cell order and
+// reports the lowest-indexed error, matching what a serial loop would do.
+func TestRunCellsOrderAndErrors(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		opt := Options{Seed: 1, Workers: workers}
+		got, err := runCells(opt, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: cell %d returned %d, want %d", workers, i, v, i*i)
+			}
+		}
+
+		_, err = runCells(opt, 100, func(i int) (int, error) {
+			if i >= 40 {
+				return 0, fmt.Errorf("cell %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "cell 40 failed" {
+			t.Fatalf("workers=%d: want first-by-index error from cell 40, got %v", workers, err)
+		}
+	}
+}

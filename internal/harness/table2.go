@@ -59,7 +59,8 @@ func Table2(p *topology.Profile, opt Options) (*Table2Result, error) {
 		})
 	}
 
-	// Cache tiers: pointer-chase with working sets inside each tier.
+	// Every measurement below saturates or chases its own private
+	// network, so each is one cell of the worker pool.
 	chase := func(ws units.ByteSize, umcs []int, cxl bool, mods []int) (units.Time, error) {
 		net := opt.newNet(p)
 		h, err := traffic.RunPointerChase(net, traffic.ChaseConfig{
@@ -70,24 +71,15 @@ func Table2(p *topology.Profile, opt Options) (*Table2Result, error) {
 		}
 		return h.Mean(), nil
 	}
-	for _, tier := range []struct {
-		name string
-		ws   units.ByteSize
-	}{
-		{"L1", p.L1PerCore / 2},
-		{"L2", p.L2PerCore / 2 * 3 / 2}, // between L1 and L2 capacity
-		{"L3", p.L3PerCCX() / 2},
-	} {
-		v, err := chase(tier.ws, nil, false, nil)
-		if err != nil {
-			return nil, err
-		}
-		add("Compute Chiplet", tier.name, v)
-	}
 
-	// Token-queue ceilings: saturate one chiplet's read path and read the
+	// tokenCell saturates one chiplet's read path and reads the token
 	// pools' typical waiting time.
-	{
+	type t2meas struct {
+		v      units.Time
+		ccd    units.Time
+		hasCCD bool
+	}
+	tokenCell := func() (t2meas, error) {
 		net := opt.newNet(p)
 		f := traffic.MustFlow(net, traffic.FlowConfig{
 			Name: "sat", Cores: ccdCores(p, 0), Op: txn.Read,
@@ -97,33 +89,74 @@ func Table2(p *topology.Profile, opt Options) (*Table2Result, error) {
 		net.Engine().RunFor(opt.scale(20 * units.Microsecond))
 		ccx := net.CCXTokens(topology.CCXID{CCD: 0, CCX: 0})
 		ccx.ResetStats()
-		var ccd = net.CCDTokens(0)
+		ccd := net.CCDTokens(0)
 		if ccd != nil {
 			ccd.ResetStats()
 		}
 		net.Engine().RunFor(opt.scale(50 * units.Microsecond))
-		add("Compute Chiplet", "Max CCX Q", ccx.WaitPercentile(95))
+		m := t2meas{v: ccx.WaitPercentile(95)}
 		if ccd != nil {
-			add("Compute Chiplet", "Max CCD Q", ccd.WaitPercentile(95))
+			m.ccd, m.hasCCD = ccd.WaitPercentile(95), true
 		}
+		return m, nil
 	}
 
-	// DIMM positions.
+	tiers := []struct {
+		name string
+		ws   units.ByteSize
+	}{
+		{"L1", p.L1PerCore / 2},
+		{"L2", p.L2PerCore / 2 * 3 / 2}, // between L1 and L2 capacity
+		{"L3", p.L3PerCCX() / 2},
+	}
 	positions := map[topology.Position]string{
 		topology.Near: "Near", topology.Vertical: "Vertical",
 		topology.Horizontal: "Horizontal", topology.Diagonal: "Diagonal",
 	}
+	posList := topology.Positions()
+
+	// Cell layout: tiers, then the token run, then the DIMM positions,
+	// then (when present) the CXL chase.
+	nCells := len(tiers) + 1 + len(posList)
+	if p.CXLModules > 0 {
+		nCells++
+	}
+	cells, err := runCells(opt, nCells, func(i int) (t2meas, error) {
+		switch {
+		case i < len(tiers):
+			v, err := chase(tiers[i].ws, nil, false, nil)
+			return t2meas{v: v}, err
+		case i == len(tiers):
+			return tokenCell()
+		case i < len(tiers)+1+len(posList):
+			pos := posList[i-len(tiers)-1]
+			umc, ok := p.UMCAtPosition(0, pos)
+			if !ok {
+				return t2meas{}, fmt.Errorf("harness: %s has no %v channel", p.Name, pos)
+			}
+			v, err := chase(units.GiB, []int{umc}, false, nil)
+			return t2meas{v: v}, err
+		default:
+			v, err := chase(units.GiB, nil, true, allModules(p))
+			return t2meas{v: v}, err
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for i, tier := range tiers {
+		add("Compute Chiplet", tier.name, cells[i].v)
+	}
+	tok := cells[len(tiers)]
+	add("Compute Chiplet", "Max CCX Q", tok.v)
+	if tok.hasCCD {
+		add("Compute Chiplet", "Max CCD Q", tok.ccd)
+	}
+
 	measured := map[string]units.Time{}
-	for _, pos := range topology.Positions() {
-		umc, ok := p.UMCAtPosition(0, pos)
-		if !ok {
-			return nil, fmt.Errorf("harness: %s has no %v channel", p.Name, pos)
-		}
-		v, err := chase(units.GiB, []int{umc}, false, nil)
-		if err != nil {
-			return nil, err
-		}
-		measured[positions[pos]] = v
+	for i, pos := range posList {
+		measured[positions[pos]] = cells[len(tiers)+1+i].v
 	}
 
 	// I/O chiplet rows, derived the way the paper derived them: a switch
@@ -137,11 +170,7 @@ func Table2(p *topology.Profile, opt Options) (*Table2Result, error) {
 	}
 
 	if p.CXLModules > 0 {
-		v, err := chase(units.GiB, nil, true, allModules(p))
-		if err != nil {
-			return nil, err
-		}
-		add("Memory/Device", "CXL DIMM", v)
+		add("Memory/Device", "CXL DIMM", cells[nCells-1].v)
 	}
 	return res, nil
 }

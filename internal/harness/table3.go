@@ -76,19 +76,29 @@ func Table3(p *topology.Profile, opt Options) *Table3Result {
 		net.Engine().RunFor(opt.scale(50 * units.Microsecond))
 		return f.Achieved()
 	}
-	paper := paperTable3[p.Name]
-	for _, domain := range []string{"DIMM", "CXL"} {
-		if domain == "CXL" && p.CXLModules == 0 {
-			continue
-		}
+
+	// One pool cell per (domain, scope, op) measurement, each on its own
+	// saturated network.
+	domains := []string{"DIMM"}
+	if p.CXLModules > 0 {
+		domains = append(domains, "CXL")
+	}
+	ops := []txn.Op{txn.Read, txn.NTWrite}
+	grid := len(scopes) * len(ops)
+	bws, _ := runCells(opt, len(domains)*grid, func(i int) (units.Bandwidth, error) {
 		kind := icore.DestDRAM
-		if domain == "CXL" {
+		if domains[i/grid] == "CXL" {
 			kind = icore.DestCXL
 		}
-		for _, sc := range scopes {
+		return run(scopes[i/len(ops)%len(scopes)].cores, ops[i%len(ops)], kind), nil
+	})
+	paper := paperTable3[p.Name]
+	for di, domain := range domains {
+		for si, sc := range scopes {
+			base := di*grid + si*len(ops)
 			row := Table3Row{Scope: sc.name, Domain: domain,
-				Read:  run(sc.cores, txn.Read, kind),
-				Write: run(sc.cores, txn.NTWrite, kind),
+				Read:  bws[base],
+				Write: bws[base+1],
 			}
 			if ref, ok := paper[domain][sc.name]; ok {
 				row.PaperRead = units.GBps(ref[0])

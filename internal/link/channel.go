@@ -40,6 +40,10 @@ type Channel struct {
 	busy     units.Time
 	meter    telemetry.Meter
 	queueLat telemetry.Histogram // time from accept to start of service
+
+	// departFn is the serialization-complete callback, bound once so the
+	// per-message hot path schedules it without allocating a closure.
+	departFn func()
 }
 
 // NewChannel builds a channel. name appears in telemetry and the device
@@ -51,8 +55,13 @@ func NewChannel(eng *sim.Engine, name string, capacity units.Bandwidth, latency 
 	if depth < 0 {
 		panic(fmt.Sprintf("link: %s: negative queue depth", name))
 	}
-	return &Channel{eng: eng, name: name, capacity: capacity, latency: latency, depth: depth}
+	c := &Channel{eng: eng, name: name, capacity: capacity, latency: latency, depth: depth}
+	c.departFn = c.depart
+	return c
 }
+
+// depart marks the message at the head of the serializer finished.
+func (c *Channel) depart() { c.queued-- }
 
 // Name reports the channel's telemetry name.
 func (c *Channel) Name() string { return c.name }
@@ -82,6 +91,27 @@ func (c *Channel) TrySendAfter(size units.ByteSize, extra units.Time, deliver fu
 		c.refused++
 		return false
 	}
+	c.enqueue(size, extra, deliver)
+	return true
+}
+
+// Send enqueues unconditionally, ignoring the queue bound. It is used for
+// responses and acks, which in hardware ride reserved virtual channels so
+// they cannot deadlock behind requests.
+func (c *Channel) Send(size units.ByteSize, deliver func()) {
+	c.enqueue(size, 0, deliver)
+}
+
+// SendAfter is Send with a per-message additional propagation delay.
+func (c *Channel) SendAfter(size units.ByteSize, extra units.Time, deliver func()) {
+	c.enqueue(size, extra, deliver)
+}
+
+// enqueue accepts a message unconditionally: the queue-bound check, if
+// any, belongs to the caller. Sharing this path between TrySendAfter and
+// SendAfter means the bound is never bypassed by mutating c.depth, so a
+// panic or re-entrant send mid-enqueue cannot leave the bound corrupted.
+func (c *Channel) enqueue(size units.ByteSize, extra units.Time, deliver func()) {
 	c.queued++
 	now := c.eng.Now()
 	start := now
@@ -94,28 +124,10 @@ func (c *Channel) TrySendAfter(size units.ByteSize, extra units.Time, deliver fu
 	c.busy += txTime
 	c.queueLat.Record(start - now)
 	c.meter.Record(size)
-	c.eng.At(done, func() {
-		c.queued--
-	})
+	c.eng.At(done, c.departFn)
 	if deliver != nil {
 		c.eng.At(done+c.latency+extra, deliver)
 	}
-	return true
-}
-
-// Send enqueues unconditionally, ignoring the queue bound. It is used for
-// responses and acks, which in hardware ride reserved virtual channels so
-// they cannot deadlock behind requests.
-func (c *Channel) Send(size units.ByteSize, deliver func()) {
-	c.SendAfter(size, 0, deliver)
-}
-
-// SendAfter is Send with a per-message additional propagation delay.
-func (c *Channel) SendAfter(size units.ByteSize, extra units.Time, deliver func()) {
-	saved := c.depth
-	c.depth = 0
-	c.TrySendAfter(size, extra, deliver)
-	c.depth = saved
 }
 
 // QueueDelay reports how long a message accepted now would wait before

@@ -101,6 +101,123 @@ func TestRunUntil(t *testing.T) {
 	}
 }
 
+func TestRunUntilEventsExactlyAtLimit(t *testing.T) {
+	e := New(1)
+	var got []int
+	e.At(20*units.Nanosecond, func() {
+		got = append(got, 1)
+		// An event scheduled at exactly the limit during the run must
+		// still fire within the same RunUntil call.
+		e.At(20*units.Nanosecond, func() { got = append(got, 2) })
+	})
+	e.RunUntil(20 * units.Nanosecond)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("events at the limit: got %v, want [1 2]", got)
+	}
+	if e.Now() != 20*units.Nanosecond {
+		t.Errorf("Now = %v, want 20ns", e.Now())
+	}
+	// Scheduling at the limit after the run is not "the past".
+	e.At(20*units.Nanosecond, func() { got = append(got, 3) })
+	e.Run()
+	if len(got) != 3 {
+		t.Fatalf("post-run event at the limit did not fire: %v", got)
+	}
+}
+
+func TestSameTimeFIFOAcrossHorizon(t *testing.T) {
+	// Events at one timestamp land in the overflow heap first (beyond the
+	// wheel horizon), then — once the clock advances — further events at
+	// the same timestamp go straight into the wheel. The (time, seq)
+	// tie-break must hold across both structures.
+	e := New(1)
+	target := 3 * wheelSpan
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(target, func() { got = append(got, i) })
+	}
+	e.At(target-wheelSpan/2, func() {
+		for i := 5; i < 10; i++ {
+			i := i
+			e.At(target, func() { got = append(got, i) })
+		}
+	})
+	e.Run()
+	if len(got) != 10 {
+		t.Fatalf("fired %d events, want 10", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("cross-horizon tie-break order = %v, want ascending", got)
+		}
+	}
+	if e.Now() != target {
+		t.Errorf("Now = %v, want %v", e.Now(), target)
+	}
+}
+
+func TestWheelRollover(t *testing.T) {
+	// A chain whose steps exceed one tick forces the wheel through many
+	// full ring rotations; time must never stall or jump backwards.
+	e := New(1)
+	step := 300 * units.Picosecond
+	const n = 20000 // n*step spans several wheel rotations
+	count := 0
+	var prev units.Time
+	var tick func()
+	tick = func() {
+		if e.Now() < prev {
+			t.Fatalf("time went backwards: %v after %v", e.Now(), prev)
+		}
+		prev = e.Now()
+		count++
+		if count < n {
+			e.After(step, tick)
+		}
+	}
+	e.After(step, tick)
+	e.Run()
+	if count != n {
+		t.Fatalf("ran %d events, want %d", count, n)
+	}
+	if want := units.Time(n) * step; e.Now() != want {
+		t.Errorf("Now = %v, want %v", e.Now(), want)
+	}
+}
+
+func TestRandomScheduleOrdering(t *testing.T) {
+	// Random timestamps spanning several horizons: execution must be
+	// globally sorted by time with FIFO tie-break, regardless of whether
+	// an event lived in the wheel, the overflow heap, or migrated between
+	// them.
+	e := New(1)
+	rng := NewRNG(3)
+	type rec struct {
+		at  units.Time
+		idx int
+	}
+	var got []rec
+	for i := 0; i < 5000; i++ {
+		i := i
+		at := units.Time(rng.Intn(int(10 * wheelSpan)))
+		e.At(at, func() { got = append(got, rec{e.Now(), i}) })
+	}
+	e.Run()
+	if len(got) != 5000 {
+		t.Fatalf("fired %d events, want 5000", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].at < got[i-1].at {
+			t.Fatalf("event %d fired at %v after %v", i, got[i].at, got[i-1].at)
+		}
+		if got[i].at == got[i-1].at && got[i].idx < got[i-1].idx {
+			t.Fatalf("FIFO violated at %v: insertion %d before %d",
+				got[i].at, got[i-1].idx, got[i].idx)
+		}
+	}
+}
+
 func TestStepEmpty(t *testing.T) {
 	e := New(1)
 	if e.Step() {
