@@ -1,9 +1,31 @@
 #!/bin/sh
-# CI gate: vet, build, full test suite, then the race detector over the
-# packages that run experiment cells concurrently.
+# CI gate: formatting, vet, build, full test suite, the race detector over
+# the packages that run experiment cells concurrently, and the tracing
+# overhead guards.
 set -eux
+
+# gofmt gate: fail if any file needs reformatting.
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/harness/ ./internal/sim/
+
+# Observability overhead guards: an attached-but-disabled tracer must stay
+# within ~5% of a nil tracer on the channel hot path, and the tracer hooks
+# must never allocate — even when enabled.
+go test ./internal/trace/ -run 'TestDisabledTracerOverhead|TestHotPathAllocs' -v
+
+# Engine benchmarks must stay allocation-free with the tracer in the tree.
+bench=$(go test ./internal/sim/ -run '^$' -bench 'BenchmarkEngine' -benchtime 10000x)
+echo "$bench"
+if echo "$bench" | grep 'BenchmarkEngine' | grep -qv ' 0 allocs/op'; then
+    echo "engine benchmarks allocate on the steady-state path" >&2
+    exit 1
+fi

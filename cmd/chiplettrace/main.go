@@ -1,0 +1,50 @@
+// Command chiplettrace inspects flight-recorder traces written by
+// `reproduce -trace` (Chrome trace_event JSON) without re-running any
+// simulation: per-cause and per-hop time totals, the slowest transactions
+// with their attribution, and the full hop-by-hop timeline of a single
+// transaction.
+//
+// Usage:
+//
+//	chiplettrace -in trace.json [-top N]         summary report
+//	chiplettrace -in trace.json -txn 812         one transaction's timeline
+//
+// The same JSON loads in https://ui.perfetto.dev for visual inspection;
+// this tool covers the cases where a number, not a picture, is wanted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("chiplettrace: ")
+	in := flag.String("in", "", "trace file to inspect (required)")
+	top := flag.Int("top", 10, "rows in the per-hop and slowest-transaction lists")
+	txnID := flag.Uint64("txn", 0, "print the hop-by-hop timeline of this transaction id instead of the summary")
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	ld, err := trace.ReadTraceEvents(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *txnID != 0 {
+		fmt.Print(ld.TxnDetail(*txnID))
+		return
+	}
+	fmt.Print(ld.Report(*top))
+}

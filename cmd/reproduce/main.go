@@ -4,11 +4,18 @@
 // Usage:
 //
 //	reproduce [-experiment all|table1|table2|table3|fig3|fig4|fig5|fig6] [-scale N] [-seed N] [-workers N]
+//	reproduce -trace out.json [-trace-scenario N] [-trace-case N] [-trace-spans N] [-scale N] [-seed N]
 //
 // -scale divides the steady-state measurement windows (1 = full length, as
 // recorded in EXPERIMENTS.md; larger is faster but noisier). -workers sets
 // how many experiment cells run concurrently (0 = GOMAXPROCS, 1 = serial);
 // results are identical for every worker count.
+//
+// -trace runs one Figure 4 cell with the hop-level flight recorder
+// enabled over the measurement window, writes the spans as Chrome
+// trace_event JSON (open at https://ui.perfetto.dev), and prints the
+// latency-breakdown and per-hop counter reports. Inspect the file later
+// with cmd/chiplettrace.
 package main
 
 import (
@@ -28,9 +35,19 @@ func main() {
 	scale := flag.Int("scale", 1, "time-scale divisor for measurement windows")
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	workers := flag.Int("workers", 0, "concurrent experiment cells (0 = GOMAXPROCS, 1 = serial)")
+	traceFile := flag.String("trace", "", "write a flight-recorder trace of one Figure 4 cell to this file (Chrome trace_event JSON)")
+	traceScenario := flag.Int("trace-scenario", 1, "Figure 4 scenario index to trace (see fig4 output order)")
+	traceCase := flag.Int("trace-case", 2, "Figure 4 demand case index to trace (default: equal over-subscribing demands)")
+	traceSpans := flag.Int("trace-spans", 1<<20, "span ring capacity for -trace (oldest spans overwritten beyond this)")
 	flag.Parse()
 
 	opt := harness.Options{Seed: *seed, TimeScale: *scale, Workers: *workers}
+	if *traceFile != "" {
+		if err := runTrace(opt, *traceScenario, *traceCase, *traceSpans, *traceFile); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		return
+	}
 	run := map[string]func(harness.Options) error{
 		"table1":   runTable1,
 		"table2":   runTable2,
@@ -58,6 +75,33 @@ func main() {
 	if err := fn(opt); err != nil {
 		log.Fatalf("%s: %v", *experiment, err)
 	}
+}
+
+// runTrace runs one Figure 4 cell with the flight recorder on, writes
+// the Perfetto-loadable trace and prints the analysis reports.
+func runTrace(opt harness.Options, scenario, demandCase, spanCap int, path string) error {
+	res, tr, err := harness.Figure4TraceCell(opt, scenario, demandCase, spanCap)
+	if err != nil {
+		return err
+	}
+	fmt.Println(harness.RenderFigure4([]harness.Fig4Result{res}))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteTraceEvents(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Println(tr.BreakdownReport(10))
+	fmt.Println("per-hop counter registry:")
+	fmt.Println(tr.CounterReport())
+	fmt.Printf("wrote %d spans to %s — open at https://ui.perfetto.dev or inspect with chiplettrace\n",
+		tr.SpanCount(), path)
+	return nil
 }
 
 func runTable1(harness.Options) error {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/link"
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/txn"
 	"repro/internal/units"
 )
@@ -91,9 +92,13 @@ func (n *Network) Issue(a Access, extraTokens []*link.TokenPool, done func(*txn.
 		// CCX Q" rows are), but not time spent queued behind a software
 		// flow window.
 		t.Issued = n.eng.Now()
+		n.trSet(t.ID)
 		acquireAll(hw, 0, func() {
 			finish := func() {
 				t.Completed = n.eng.Now()
+				if n.tracer != nil {
+					n.tracer.EndTxn(t.ID, t.Issued, t.Completed)
+				}
 				for i := len(hw) - 1; i >= 0; i-- {
 					hw[i].Release()
 				}
@@ -105,22 +110,23 @@ func (n *Network) Issue(a Access, extraTokens []*link.TokenPool, done func(*txn.
 					done(t)
 				}
 			}
-			n.run(a, finish)
+			n.run(a, t.ID, finish)
 		})
 	})
 }
 
-// run dispatches the access to its path walker.
-func (n *Network) run(a Access, finish func()) {
+// run dispatches the access to its path walker. id is the transaction id
+// the walker attributes trace spans to.
+func (n *Network) run(a Access, id uint64, finish func()) {
 	switch a.Kind {
 	case DestDRAM:
-		n.runDRAM(a, finish)
+		n.runDRAM(a, id, finish)
 	case DestCXL:
-		n.runCXL(a, finish)
+		n.runCXL(a, id, finish)
 	case DestLLCIntra:
-		n.runLLCIntra(a, finish)
+		n.runLLCIntra(a, id, finish)
 	case DestLLCInter:
-		n.runLLCInter(a, finish)
+		n.runLLCInter(a, id, finish)
 	}
 }
 
@@ -194,14 +200,26 @@ func acquireAll(pools []*link.TokenPool, i int, fn func()) {
 // subsystems (the NUMA fabric, accelerator models) inherit the same
 // admission behaviour.
 func (n *Network) SendWithRetry(ch *link.Channel, size units.ByteSize, extra units.Time, then func()) {
-	n.pushWithRetry(ch, size, extra, then)
+	// Composed subsystems issue no core transactions, so their traffic is
+	// traced as infrastructure (transaction id 0).
+	n.pushWithRetry(ch, size, extra, 0, then)
 }
 
-func (n *Network) pushWithRetry(ch *link.Channel, size units.ByteSize, extra units.Time, then func()) {
+// pushWithRetry sends for transaction id; time between the first refusal
+// and the eventual acceptance is attributed as backpressure.
+func (n *Network) pushWithRetry(ch *link.Channel, size units.ByteSize, extra units.Time, id uint64, then func()) {
+	blocked := units.Time(-1)
 	var attempt func()
 	attempt = func() {
+		n.trSet(id)
 		if ch.TrySendAfter(size, extra, then) {
+			if blocked >= 0 {
+				n.trRange(ch.Hop(), trace.CauseBackpressured, blocked, n.eng.Now())
+			}
 			return
+		}
+		if blocked < 0 {
+			blocked = n.eng.Now()
 		}
 		// Retry after about one service quantum of the blocked message
 		// itself: a cacheline probes every couple of nanoseconds, a bulk
@@ -221,21 +239,40 @@ func (n *Network) pushWithRetry(ch *link.Channel, size units.ByteSize, extra uni
 
 // runDRAM walks a memory transaction: CCM -> GMI -> switch hops -> CS ->
 // UMC -> DRAM, response back through the NoC and GMI (Fig 2's path).
-func (n *Network) runDRAM(a Access, finish func()) {
+//
+// Every walker follows the same tracing discipline: re-establish the
+// active transaction at the top of each event callback, and attribute the
+// deterministic delays the channels cannot see (CCM handling, switch-hop
+// runs riding the NoC's per-message extra, device service) to their named
+// stage hops, retroactively where the delay has just elapsed. Together
+// with the channel and pool hooks, the spans tile [Issued, Completed]
+// exactly.
+func (n *Network) runDRAM(a Access, id uint64, finish func()) {
 	p := n.prof
 	ccd := a.Src.CCD
 	dram := n.drams[a.UMC]
-	hopExtra := n.noc.MemoryHopDelay(ccd, a.UMC) + p.CSLatency
+	shops := n.noc.MemoryHopDelay(ccd, a.UMC)
+	hopExtra := shops + p.CSLatency
 	switch a.Op {
 	case txn.Read, txn.Write:
 		// A temporal write is a read-for-ownership: the line is fetched
 		// like a read; the dirty writeback happens asynchronously later.
 		n.eng.After(p.CacheMissBase, func() {
-			n.pushWithRetry(n.gmiOut[ccd], p.ReadRequestSize, 0, func() {
-				n.pushWithRetry(n.noc.Write, p.ReadRequestSize, hopExtra, func() {
-					n.eng.After(dram.AccessTime(), func() {
+			n.trSet(id)
+			n.trBefore(n.ccmHop(ccd), trace.CauseProcessing, p.CacheMissBase)
+			n.pushWithRetry(n.gmiOut[ccd], p.ReadRequestSize, 0, id, func() {
+				n.trSet(id)
+				n.pushWithRetry(n.noc.Write, p.ReadRequestSize, hopExtra, id, func() {
+					n.trSet(id)
+					n.trMeshHops(shops, p.CSLatency)
+					access := dram.AccessTime()
+					n.trAfter(dram.ServiceHop(), trace.CauseService, access)
+					n.eng.After(access, func() {
+						n.trSet(id)
 						dram.Read.Send(units.CacheLine, func() {
+							n.trSet(id)
 							n.noc.Read.Send(units.CacheLine, func() {
+								n.trSet(id)
 								n.gmiIn[ccd].Send(units.CacheLine, func() {
 									if a.Op == txn.Write {
 										n.writebackDRAM(a)
@@ -250,11 +287,21 @@ func (n *Network) runDRAM(a Access, finish func()) {
 		})
 	case txn.NTWrite:
 		n.eng.After(p.CacheMissBase, func() {
-			n.pushWithRetry(n.gmiOut[ccd], units.CacheLine, 0, func() {
-				n.pushWithRetry(n.noc.Write, units.CacheLine, hopExtra, func() {
+			n.trSet(id)
+			n.trBefore(n.ccmHop(ccd), trace.CauseProcessing, p.CacheMissBase)
+			n.pushWithRetry(n.gmiOut[ccd], units.CacheLine, 0, id, func() {
+				n.trSet(id)
+				n.pushWithRetry(n.noc.Write, units.CacheLine, hopExtra, id, func() {
+					n.trSet(id)
+					n.trMeshHops(shops, p.CSLatency)
 					dram.Write.Send(units.CacheLine, func() {
-						n.eng.After(dram.AccessTime(), func() {
+						n.trSet(id)
+						access := dram.AccessTime()
+						n.trAfter(dram.ServiceHop(), trace.CauseService, access)
+						n.eng.After(access, func() {
+							n.trSet(id)
 							n.noc.Read.Send(p.WriteAckSize, func() {
+								n.trSet(id)
 								n.gmiIn[ccd].Send(p.WriteAckSize, finish)
 							})
 						})
@@ -273,8 +320,11 @@ func (n *Network) writebackDRAM(a Access) {
 	ccd := a.Src.CCD
 	dram := n.drams[a.UMC]
 	hopExtra := n.noc.MemoryHopDelay(ccd, a.UMC) + p.CSLatency
-	n.pushWithRetry(n.gmiOut[ccd], units.CacheLine, 0, func() {
-		n.pushWithRetry(n.noc.Write, units.CacheLine, hopExtra, func() {
+	// Writebacks complete nobody, so they trace as infrastructure (id 0):
+	// counted in the per-hop registry, excluded from transaction tilings.
+	n.pushWithRetry(n.gmiOut[ccd], units.CacheLine, 0, 0, func() {
+		n.pushWithRetry(n.noc.Write, units.CacheLine, hopExtra, 0, func() {
+			n.trSet(0)
 			dram.Write.Send(units.CacheLine, nil)
 		})
 	})
@@ -283,20 +333,33 @@ func (n *Network) writebackDRAM(a Access) {
 // runCXL walks a device transaction: CCM -> GMI -> switch hops -> I/O hub
 // -> root complex -> P link -> CXL module, riding 68 B flits on the CXL
 // leg (§3.2's device path; Table 2's 243 ns row).
-func (n *Network) runCXL(a Access, finish func()) {
+func (n *Network) runCXL(a Access, id uint64, finish func()) {
 	p := n.prof
 	ccd := a.Src.CCD
 	mod := n.cxls[a.Module]
-	hubExtra := n.noc.IOHopDelay(ccd) + p.IOHubLatency + p.RootComplexLatency
+	hubShops := n.noc.IOHopDelay(ccd)
+	hubExtra := hubShops + p.IOHubLatency + p.RootComplexLatency
 	switch a.Op {
 	case txn.Read, txn.Write:
 		n.eng.After(p.CacheMissBase, func() {
-			n.pushWithRetry(n.gmiOut[ccd], p.ReadRequestSize, 0, func() {
-				n.pushWithRetry(n.noc.Write, p.ReadRequestSize, hubExtra, func() {
-					n.pushWithRetry(mod.Write, p.ReadRequestSize, p.PLinkLatency, func() {
-						n.eng.After(mod.AccessTime(), func() {
+			n.trSet(id)
+			n.trBefore(n.ccmHop(ccd), trace.CauseProcessing, p.CacheMissBase)
+			n.pushWithRetry(n.gmiOut[ccd], p.ReadRequestSize, 0, id, func() {
+				n.trSet(id)
+				n.pushWithRetry(n.noc.Write, p.ReadRequestSize, hubExtra, id, func() {
+					n.trSet(id)
+					n.trHubHops(hubShops, p.IOHubLatency, p.RootComplexLatency)
+					n.pushWithRetry(mod.Write, p.ReadRequestSize, p.PLinkLatency, id, func() {
+						n.trSet(id)
+						n.trBefore(mod.PLinkHop(), trace.CausePropagating, p.PLinkLatency)
+						access := mod.AccessTime()
+						n.trAfter(mod.ServiceHop(), trace.CauseService, access)
+						n.eng.After(access, func() {
+							n.trSet(id)
 							mod.Read.Send(mod.FlitSize(units.CacheLine), func() {
+								n.trSet(id)
 								n.noc.Read.Send(units.CacheLine, func() {
+									n.trSet(id)
 									n.gmiIn[ccd].Send(units.CacheLine, finish)
 								})
 							})
@@ -307,12 +370,24 @@ func (n *Network) runCXL(a Access, finish func()) {
 		})
 	case txn.NTWrite:
 		n.eng.After(p.CacheMissBase, func() {
-			n.pushWithRetry(n.gmiOut[ccd], units.CacheLine, 0, func() {
-				n.pushWithRetry(n.noc.Write, units.CacheLine, hubExtra, func() {
-					n.pushWithRetry(mod.Write, mod.FlitSize(units.CacheLine), p.PLinkLatency, func() {
-						n.eng.After(mod.AccessTime(), func() {
+			n.trSet(id)
+			n.trBefore(n.ccmHop(ccd), trace.CauseProcessing, p.CacheMissBase)
+			n.pushWithRetry(n.gmiOut[ccd], units.CacheLine, 0, id, func() {
+				n.trSet(id)
+				n.pushWithRetry(n.noc.Write, units.CacheLine, hubExtra, id, func() {
+					n.trSet(id)
+					n.trHubHops(hubShops, p.IOHubLatency, p.RootComplexLatency)
+					n.pushWithRetry(mod.Write, mod.FlitSize(units.CacheLine), p.PLinkLatency, id, func() {
+						n.trSet(id)
+						n.trBefore(mod.PLinkHop(), trace.CausePropagating, p.PLinkLatency)
+						access := mod.AccessTime()
+						n.trAfter(mod.ServiceHop(), trace.CauseService, access)
+						n.eng.After(access, func() {
+							n.trSet(id)
 							mod.Read.Send(p.WriteAckSize, func() {
+								n.trSet(id)
 								n.noc.Read.Send(p.WriteAckSize, func() {
+									n.trSet(id)
 									n.gmiIn[ccd].Send(p.WriteAckSize, finish)
 								})
 							})
@@ -325,17 +400,21 @@ func (n *Network) runCXL(a Access, finish func()) {
 }
 
 // runLLCIntra walks a cache-to-cache transfer within one compute chiplet.
-func (n *Network) runLLCIntra(a Access, finish func()) {
+func (n *Network) runLLCIntra(a Access, id uint64, finish func()) {
 	p := n.prof
 	ccd := a.Src.CCD
 	extra := p.IntraCCLatency + n.llcJitter.Sample()
 	switch a.Op {
 	case txn.Read, txn.Write:
-		n.pushWithRetry(n.intraOut[ccd], p.ReadRequestSize, extra, func() {
+		n.pushWithRetry(n.intraOut[ccd], p.ReadRequestSize, extra, id, func() {
+			n.trSet(id)
+			n.trBefore(n.ifHop(ccd), trace.CausePropagating, extra)
 			n.intraIn[ccd].Send(units.CacheLine, finish)
 		})
 	case txn.NTWrite:
-		n.pushWithRetry(n.intraOut[ccd], units.CacheLine, extra, func() {
+		n.pushWithRetry(n.intraOut[ccd], units.CacheLine, extra, id, func() {
+			n.trSet(id)
+			n.trBefore(n.ifHop(ccd), trace.CausePropagating, extra)
 			n.intraIn[ccd].Send(p.WriteAckSize, finish)
 		})
 	}
@@ -347,7 +426,7 @@ func (n *Network) runLLCIntra(a Access, finish func()) {
 // chiplets, which is why the paper sees inter-CC interference only at much
 // higher aggregate bandwidth ("the I/O chiplet provisions more than one
 // routing path").
-func (n *Network) runLLCInter(a Access, finish func()) {
+func (n *Network) runLLCInter(a Access, id uint64, finish func()) {
 	p := n.prof
 	src, dst := a.Src.CCD, a.DstCCD
 	// The deterministic latency budget beyond the explicitly modelled legs
@@ -359,7 +438,9 @@ func (n *Network) runLLCInter(a Access, finish func()) {
 	extra += n.llcJitter.Sample()
 	respond := func(size units.ByteSize) {
 		n.gmiOut[dst].Send(size, func() {
+			n.trSet(id)
 			n.noc.Read.Send(size, func() {
+				n.trSet(id)
 				n.gmiIn[src].Send(size, finish)
 			})
 		})
@@ -367,10 +448,18 @@ func (n *Network) runLLCInter(a Access, finish func()) {
 	switch a.Op {
 	case txn.Read, txn.Write:
 		n.eng.After(p.CacheMissBase, func() {
-			n.pushWithRetry(n.gmiOut[src], p.ReadRequestSize, 0, func() {
-				n.pushWithRetry(n.noc.Write, p.ReadRequestSize, extra, func() {
+			n.trSet(id)
+			n.trBefore(n.ccmHop(src), trace.CauseProcessing, p.CacheMissBase)
+			n.pushWithRetry(n.gmiOut[src], p.ReadRequestSize, 0, id, func() {
+				n.trSet(id)
+				n.pushWithRetry(n.noc.Write, p.ReadRequestSize, extra, id, func() {
+					n.trSet(id)
+					n.trBefore(n.interHop, trace.CausePropagating, extra)
 					n.gmiIn[dst].Send(p.ReadRequestSize, func() {
+						n.trSet(id)
+						n.trAfter(n.llcHop(dst), trace.CauseProcessing, p.L3Latency)
 						n.eng.After(p.L3Latency, func() {
+							n.trSet(id)
 							respond(units.CacheLine)
 						})
 					})
@@ -379,10 +468,18 @@ func (n *Network) runLLCInter(a Access, finish func()) {
 		})
 	case txn.NTWrite:
 		n.eng.After(p.CacheMissBase, func() {
-			n.pushWithRetry(n.gmiOut[src], units.CacheLine, 0, func() {
-				n.pushWithRetry(n.noc.Write, units.CacheLine, extra, func() {
+			n.trSet(id)
+			n.trBefore(n.ccmHop(src), trace.CauseProcessing, p.CacheMissBase)
+			n.pushWithRetry(n.gmiOut[src], units.CacheLine, 0, id, func() {
+				n.trSet(id)
+				n.pushWithRetry(n.noc.Write, units.CacheLine, extra, id, func() {
+					n.trSet(id)
+					n.trBefore(n.interHop, trace.CausePropagating, extra)
 					n.gmiIn[dst].Send(units.CacheLine, func() {
+						n.trSet(id)
+						n.trAfter(n.llcHop(dst), trace.CauseProcessing, p.L3Latency)
 						n.eng.After(p.L3Latency, func() {
+							n.trSet(id)
 							respond(p.WriteAckSize)
 						})
 					})

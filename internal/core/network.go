@@ -32,6 +32,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // Network is one chiplet server SoC's intra-host network.
@@ -71,6 +72,14 @@ type Network struct {
 
 	matrix *telemetry.TrafficMatrix
 	nextID uint64
+
+	// Flight recorder (nil unless AttachTracer wired one in) and the
+	// path-stage hops the issuing layer attributes to directly.
+	tracer   *trace.Tracer
+	ccmHops  []trace.HopID // per CCD: cache-miss handling + CCM
+	llcHops  []trace.HopID // per CCD: remote LLC lookup
+	ifHops   []trace.HopID // per CCD: intra-chiplet fabric slack
+	interHop trace.HopID   // inter-chiplet fabric slack through the I/O die
 }
 
 // New assembles a network for the profile. It panics if the profile fails
@@ -210,11 +219,7 @@ func (n *Network) ResetStats() {
 	for _, ch := range n.Channels() {
 		ch.ResetStats()
 	}
-	pools := [][]*link.TokenPool{
-		n.ccxTokens, n.ccdTokens, n.devRead, n.devWrite,
-		n.readMSHRs, n.writeWCBs, n.llcWindow, n.cxlReads, n.cxlWrites,
-	}
-	for _, ps := range pools {
+	for _, ps := range n.poolGroups() {
 		for _, p := range ps {
 			p.ResetStats()
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/traffic"
 	"repro/internal/txn"
 	"repro/internal/units"
@@ -127,8 +128,20 @@ func Figure4Scenarios() []Fig4Scenario {
 
 // figure4Cell runs one (scenario, demand case) cell on a private engine.
 func figure4Cell(sc Fig4Scenario, c Fig4Case, opt Options) (Fig4Result, error) {
+	return figure4CellTraced(sc, c, opt, nil)
+}
+
+// figure4CellTraced is figure4Cell with an optional flight recorder: when
+// tr is non-nil it is attached before any traffic runs and enabled for
+// exactly the steady-state measurement window, so the recorded spans
+// describe the same interval the bandwidth numbers are measured over.
+// The results are identical either way — tracing observes, never steers.
+func figure4CellTraced(sc Fig4Scenario, c Fig4Case, opt Options, tr *trace.Tracer) (Fig4Result, error) {
 	p := sc.Profile()
 	net := opt.newNet(p)
+	if tr != nil {
+		net.AttachTracer(tr)
+	}
 	cfgA, cfgB := sc.FlowA(p), sc.FlowB(p)
 	cfgA.Demand = units.Bandwidth(float64(sc.Capacity) * c.FracA)
 	cfgB.Demand = units.Bandwidth(float64(sc.Capacity) * c.FracB)
@@ -147,7 +160,13 @@ func figure4Cell(sc Fig4Scenario, c Fig4Case, opt Options) (Fig4Result, error) {
 	net.Engine().RunFor(sc.Converge)
 	fa.ResetStats()
 	fb.ResetStats()
+	if tr != nil {
+		tr.Enable()
+	}
 	net.Engine().RunFor(opt.scale(600 * units.Microsecond))
+	if tr != nil {
+		tr.Disable()
+	}
 	return Fig4Result{
 		Profile: p.Name, Link: sc.Link, Case: c.Name,
 		DemandA: cfgA.Demand, DemandB: cfgB.Demand,

@@ -1,0 +1,34 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Figure4TraceCell runs one Figure 4 (scenario, demand case) cell with
+// the hop-level flight recorder attached and returns both the bandwidth
+// result and the tracer holding the measurement window's spans. The
+// tracer is enabled only for the steady-state window (after convergence
+// and the stats reset), so the trace describes exactly the interval the
+// achieved-bandwidth numbers summarize. spanCap bounds the span ring
+// (<= 0 uses the trace package default).
+//
+// The cell runs serially on its own engine regardless of opt.Workers —
+// a tracer is engine-local and cannot be shared across cells.
+func Figure4TraceCell(opt Options, scenario, demandCase, spanCap int) (Fig4Result, *trace.Tracer, error) {
+	scs := Figure4Scenarios()
+	if scenario < 0 || scenario >= len(scs) {
+		return Fig4Result{}, nil, fmt.Errorf("harness: scenario %d out of range [0,%d)", scenario, len(scs))
+	}
+	cases := Fig4Cases()
+	if demandCase < 0 || demandCase >= len(cases) {
+		return Fig4Result{}, nil, fmt.Errorf("harness: demand case %d out of range [0,%d)", demandCase, len(cases))
+	}
+	tr := trace.New(trace.Config{SpanCap: spanCap})
+	res, err := figure4CellTraced(scs[scenario], cases[demandCase], opt, tr)
+	if err != nil {
+		return Fig4Result{}, nil, err
+	}
+	return res, tr, nil
+}

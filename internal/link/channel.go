@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/units"
 )
 
@@ -40,6 +41,11 @@ type Channel struct {
 	busy     units.Time
 	meter    telemetry.Meter
 	queueLat telemetry.Histogram // time from accept to start of service
+
+	// tr is the flight recorder, nil unless SetTracer attached one; hop is
+	// this channel's id in its registry.
+	tr  *trace.Tracer
+	hop trace.HopID
 
 	// departFn is the serialization-complete callback, bound once so the
 	// per-message hot path schedules it without allocating a closure.
@@ -62,6 +68,20 @@ func NewChannel(eng *sim.Engine, name string, capacity units.Bandwidth, latency 
 
 // depart marks the message at the head of the serializer finished.
 func (c *Channel) depart() { c.queued-- }
+
+// SetTracer attaches the flight recorder, registering this channel as a
+// hop named after it. Attach at most once per tracer, before running
+// traffic; nil detaches.
+func (c *Channel) SetTracer(tr *trace.Tracer) {
+	c.tr = tr
+	if tr != nil {
+		c.hop = tr.RegisterHop(c.name, trace.KindChannel)
+	}
+}
+
+// Hop reports the channel's id in the attached tracer's registry (zero
+// when no tracer is attached).
+func (c *Channel) Hop() trace.HopID { return c.hop }
 
 // Name reports the channel's telemetry name.
 func (c *Channel) Name() string { return c.name }
@@ -124,6 +144,12 @@ func (c *Channel) enqueue(size units.ByteSize, extra units.Time, deliver func())
 	c.busy += txTime
 	c.queueLat.Record(start - now)
 	c.meter.Record(size)
+	if c.tr != nil {
+		// The propagating span covers only this channel's own latency;
+		// any per-message extra delay models a different stage and is
+		// attributed by the caller, keeping span tilings overlap-free.
+		c.tr.Enqueue(c.hop, size, now, start, done, done+c.latency)
+	}
 	c.eng.At(done, c.departFn)
 	if deliver != nil {
 		c.eng.At(done+c.latency+extra, deliver)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/units"
 )
 
@@ -24,10 +25,16 @@ type TokenPool struct {
 	waiters  []waiter
 	waitHist telemetry.Histogram
 	maxWait  units.Time
+
+	// tr is the flight recorder, nil unless SetTracer attached one; hop is
+	// this pool's id in its registry.
+	tr  *trace.Tracer
+	hop trace.HopID
 }
 
 type waiter struct {
 	since units.Time
+	txn   uint64 // transaction the waiter belongs to (tracing only)
 	fn    func()
 }
 
@@ -45,6 +52,21 @@ func NewTokenPool(eng *sim.Engine, name string, capacity int) *TokenPool {
 
 // Name reports the pool's telemetry name.
 func (p *TokenPool) Name() string { return p.name }
+
+// SetTracer attaches the flight recorder, registering this pool as a hop
+// named after it. Attach at most once per tracer, before running traffic;
+// nil detaches.
+func (p *TokenPool) SetTracer(tr *trace.Tracer) {
+	p.tr = tr
+	if tr != nil {
+		p.hop = tr.RegisterHop(p.name, trace.KindPool)
+	}
+}
+
+// Hop reports the pool's tracer hop id; zero until SetTracer runs.
+func (p *TokenPool) Hop() trace.HopID {
+	return p.hop
+}
 
 // Capacity reports the configured token budget.
 func (p *TokenPool) Capacity() int { return p.capacity }
@@ -69,7 +91,13 @@ func (p *TokenPool) Acquire(fn func()) {
 		fn()
 		return
 	}
-	p.waiters = append(p.waiters, waiter{since: p.eng.Now(), fn: fn})
+	w := waiter{since: p.eng.Now(), fn: fn}
+	if p.tr != nil {
+		// Remember which transaction blocks here so the grant can restore
+		// the tracer's active register and attribute the stall.
+		w.txn = p.tr.Active()
+	}
+	p.waiters = append(p.waiters, w)
 }
 
 // TryAcquire grants a token only if one is immediately free, reporting
@@ -112,10 +140,14 @@ func (p *TokenPool) wake() {
 		copy(p.waiters, p.waiters[1:])
 		p.waiters = p.waiters[:len(p.waiters)-1]
 		p.inUse++
-		wait := p.eng.Now() - w.since
+		now := p.eng.Now()
+		wait := now - w.since
 		p.waitHist.Record(wait)
 		if wait > p.maxWait {
 			p.maxWait = wait
+		}
+		if p.tr != nil {
+			p.tr.Wait(p.hop, w.txn, w.since, now)
 		}
 		w.fn()
 	}

@@ -1,0 +1,83 @@
+package link_test
+
+import (
+	"testing"
+
+	"repro/internal/link"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// TestChannelTracerSpans checks the channel hook at the link layer:
+// back-to-back sends produce queued/serializing/propagating spans whose
+// boundaries match the serializer arithmetic.
+func TestChannelTracerSpans(t *testing.T) {
+	eng := sim.New(1)
+	// 64 B at 64 GB/s = 1 ns serialization; 3 ns propagation.
+	ch := link.NewChannel(eng, "l", units.GBps(64), 3*units.Nanosecond, 0)
+	tr := trace.New(trace.Config{SpanCap: 16})
+	ch.SetTracer(tr)
+	tr.Enable()
+	tr.SetActive(5)
+	ch.Send(units.CacheLine, nil)
+	ch.Send(units.CacheLine, nil) // queues behind the first
+	eng.Run()
+	ser := units.GBps(64).TimeToSend(units.CacheLine)
+	var got []trace.Span
+	tr.EachSpan(func(s trace.Span) { got = append(got, s) })
+	want := []trace.Span{
+		{Txn: 5, Start: 0, End: ser, Hop: ch.Hop(), Cause: trace.CauseSerializing},
+		{Txn: 5, Start: 0, End: ser + 3*units.Nanosecond, Hop: ch.Hop(), Cause: trace.CausePropagating},
+		{Txn: 5, Start: 0, End: ser, Hop: ch.Hop(), Cause: trace.CauseQueued},
+		{Txn: 5, Start: ser, End: 2 * ser, Hop: ch.Hop(), Cause: trace.CauseSerializing},
+		{Txn: 5, Start: 2 * ser, End: 2*ser + 3*units.Nanosecond, Hop: ch.Hop(), Cause: trace.CausePropagating},
+	}
+	// Fix up the propagating start of span 1: propagation begins at ser.
+	want[1].Start = ser
+	if len(got) != len(want) {
+		t.Fatalf("got %d spans, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("span %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if c := tr.Counters(ch.Hop()); c.Meter.Ops() != 2 || c.Meter.Bytes() != 2*units.CacheLine {
+		t.Fatalf("meter: %d ops %v", c.Meter.Ops(), c.Meter.Bytes())
+	}
+}
+
+// TestTokenPoolTracerWait checks the pool hook: a blocked acquire records
+// a window-stalled span for the waiter's transaction and restores the
+// active register before running the grant continuation.
+func TestTokenPoolTracerWait(t *testing.T) {
+	eng := sim.New(1)
+	p := link.NewTokenPool(eng, "pool", 1)
+	tr := trace.New(trace.Config{SpanCap: 16})
+	p.SetTracer(tr)
+	tr.Enable()
+
+	tr.SetActive(1)
+	p.Acquire(func() {}) // immediate grant, no span
+	tr.SetActive(2)
+	activeAtGrant := uint64(0)
+	p.Acquire(func() { activeAtGrant = tr.Active() }) // queues
+	if tr.SpanCount() != 0 {
+		t.Fatalf("immediate/queued acquires recorded %d spans", tr.SpanCount())
+	}
+	eng.After(10*units.Nanosecond, func() {
+		tr.SetActive(1) // the releasing transaction's context
+		p.Release()
+	})
+	eng.Run()
+	if activeAtGrant != 2 {
+		t.Fatalf("grant ran with active=%d, want the waiter's txn 2", activeAtGrant)
+	}
+	var got []trace.Span
+	tr.EachSpan(func(s trace.Span) { got = append(got, s) })
+	want := trace.Span{Txn: 2, Start: 0, End: 10 * units.Nanosecond, Hop: p.Hop(), Cause: trace.CauseWindowStalled}
+	if len(got) != 1 || got[0] != want {
+		t.Fatalf("stall spans = %+v, want [%+v]", got, want)
+	}
+}

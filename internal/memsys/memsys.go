@@ -11,6 +11,7 @@ import (
 	"repro/internal/link"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/units"
 )
 
@@ -53,9 +54,22 @@ type DRAMChannel struct {
 	Read  *link.Channel // data return toward the cores
 	Write *link.Channel // data in from the cores
 
-	base   units.Time
-	jitter *Jitter
+	base       units.Time
+	jitter     *Jitter
+	serviceHop trace.HopID // DRAM array service stage (after AttachTracer)
 }
+
+// AttachTracer attaches the flight recorder to both UMC directions and
+// registers the DRAM array itself as a service hop.
+func (d *DRAMChannel) AttachTracer(tr *trace.Tracer) {
+	d.Read.SetTracer(tr)
+	d.Write.SetTracer(tr)
+	d.serviceHop = tr.RegisterHop(fmt.Sprintf("umc%d/dram", d.Index), trace.KindDevice)
+}
+
+// ServiceHop reports the DRAM array's trace hop (valid only after
+// AttachTracer).
+func (d *DRAMChannel) ServiceHop() trace.HopID { return d.serviceHop }
 
 // NewDRAMChannel builds UMC index for the given profile.
 func NewDRAMChannel(eng *sim.Engine, p *topology.Profile, index int) *DRAMChannel {
@@ -81,10 +95,30 @@ type CXLModule struct {
 	Read  *link.Channel // P link + CXL lanes toward the cores
 	Write *link.Channel
 
-	flit   units.ByteSize
-	base   units.Time
-	jitter *Jitter
+	flit       units.ByteSize
+	base       units.Time
+	jitter     *Jitter
+	serviceHop trace.HopID // module-internal service stage (after AttachTracer)
+	plinkHop   trace.HopID // P-link propagation stage (after AttachTracer)
 }
+
+// AttachTracer attaches the flight recorder to both module directions and
+// registers the module's internal service and the P-link propagation as
+// trace hops.
+func (m *CXLModule) AttachTracer(tr *trace.Tracer) {
+	m.Read.SetTracer(tr)
+	m.Write.SetTracer(tr)
+	m.serviceHop = tr.RegisterHop(fmt.Sprintf("cxl%d/dev", m.Index), trace.KindDevice)
+	m.plinkHop = tr.RegisterHop(fmt.Sprintf("cxl%d/plink", m.Index), trace.KindStage)
+}
+
+// ServiceHop reports the module's internal-service trace hop (valid only
+// after AttachTracer).
+func (m *CXLModule) ServiceHop() trace.HopID { return m.serviceHop }
+
+// PLinkHop reports the P-link propagation trace hop (valid only after
+// AttachTracer).
+func (m *CXLModule) PLinkHop() trace.HopID { return m.plinkHop }
 
 // NewCXLModule builds CXL module index for the given profile. The profile
 // must actually have CXL modules.

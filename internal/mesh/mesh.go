@@ -19,6 +19,7 @@ import (
 	"repro/internal/link"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/units"
 )
 
@@ -31,7 +32,37 @@ type NoC struct {
 	// plateaus: the die's total routing capacity per direction.
 	Read  *link.Channel
 	Write *link.Channel
+
+	// Trace hops for the fixed path stages the aggregate channels do not
+	// see (valid only after AttachTracer): switch-hop runs, coherent
+	// station, I/O hub, root complex.
+	shopsHop, csHop, iohubHop, rootHop trace.HopID
 }
+
+// AttachTracer attaches the flight recorder to both NoC directions and
+// registers the fixed path stages — switch hops, coherent station, I/O
+// hub, root complex — as trace hops so the issuing layer can attribute
+// deterministic stage delays to them.
+func (n *NoC) AttachTracer(tr *trace.Tracer) {
+	n.Read.SetTracer(tr)
+	n.Write.SetTracer(tr)
+	n.shopsHop = tr.RegisterHop("noc/shops", trace.KindStage)
+	n.csHop = tr.RegisterHop("noc/cs", trace.KindStage)
+	n.iohubHop = tr.RegisterHop("noc/iohub", trace.KindStage)
+	n.rootHop = tr.RegisterHop("noc/rootcomplex", trace.KindStage)
+}
+
+// ShopsHop reports the switch-hop stage's trace hop.
+func (n *NoC) ShopsHop() trace.HopID { return n.shopsHop }
+
+// CSHop reports the coherent station stage's trace hop.
+func (n *NoC) CSHop() trace.HopID { return n.csHop }
+
+// IOHubHop reports the I/O hub stage's trace hop.
+func (n *NoC) IOHubHop() trace.HopID { return n.iohubHop }
+
+// RootHop reports the root complex stage's trace hop.
+func (n *NoC) RootHop() trace.HopID { return n.rootHop }
 
 // New builds the NoC for a profile.
 func New(eng *sim.Engine, p *topology.Profile) *NoC {

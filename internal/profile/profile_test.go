@@ -146,3 +146,49 @@ func TestProfilerRecentRate(t *testing.T) {
 		t.Error("total bytes must survive window expiry")
 	}
 }
+
+func TestProfilerOverflowFlowsStillCounted(t *testing.T) {
+	// The key budget bounds the report listing, not the measurement:
+	// flows past the budget must still land in the sketches, the sliding
+	// window, and the totals, and the report must disclose them.
+	p := New(2)
+	for umc := 0; umc < 6; umc++ {
+		for rep := 0; rep < 3; rep++ {
+			tx := mkTxn(uint64(umc*10+rep), txn.Read, umc, 100*units.Nanosecond)
+			tx.Issued = units.Time(umc) * units.Nanosecond
+			tx.Completed = tx.Issued + 100*units.Nanosecond
+			p.Observe(tx)
+		}
+	}
+	// Only umc0/umc1 fit the budget; every later observation overflowed.
+	if p.Overflow() != 12 {
+		t.Fatalf("Overflow = %d, want 12 (4 flows x 3 reps)", p.Overflow())
+	}
+	// Re-observing tracked flows never counts as overflow.
+	p.Observe(mkTxn(1000, txn.Read, 0, 100*units.Nanosecond))
+	if p.Overflow() != 12 {
+		t.Fatalf("tracked re-observation bumped overflow to %d", p.Overflow())
+	}
+	// An untracked flow is still measured: sketches never under-estimate.
+	f5 := txn.Flow{Src: txn.CoreEP(topology.CoreID{}), Dst: txn.DRAMEP(5)}
+	if got := p.FlowBytes(f5); got < 3*64 {
+		t.Errorf("untracked FlowBytes = %v, want >= 192", got)
+	}
+	if got := p.FlowOps(f5); got < 3 {
+		t.Errorf("untracked FlowOps = %d, want >= 3", got)
+	}
+	if p.RecentRate(f5) == 0 {
+		t.Error("untracked flow missing from sliding window")
+	}
+	if p.TotalOps() != 19 || p.TotalBytes() != 19*64 {
+		t.Errorf("totals dropped overflowed flows: ops=%d bytes=%v", p.TotalOps(), p.TotalBytes())
+	}
+	// The report lists only the tracked flows but discloses the rest.
+	rep := p.Report(10)
+	if !strings.Contains(rep, "[12 observations in untracked flows]") {
+		t.Errorf("report does not disclose overflow:\n%s", rep)
+	}
+	if strings.Contains(rep, "umc5") {
+		t.Errorf("report lists untracked flow:\n%s", rep)
+	}
+}

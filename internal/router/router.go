@@ -22,6 +22,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/units"
 )
 
@@ -71,6 +72,28 @@ type Mesh struct {
 	hops        uint64
 	deflections uint64
 	latency     telemetry.Histogram
+
+	tr    *trace.Tracer
+	msgID uint64 // per-mesh trace message ids (disjoint engines only)
+}
+
+// AttachTracer attaches the flight recorder to every directed edge, in
+// deterministic coordinate order so hop ids are stable across runs. Each
+// routed message then records per-edge spans under its own id and an
+// end-to-end record at delivery.
+func (m *Mesh) AttachTracer(tr *trace.Tracer) {
+	m.tr = tr
+	for x := 0; x < m.cfg.Width; x++ {
+		for y := 0; y < m.cfg.Height; y++ {
+			at := topology.Coord{X: x, Y: y}
+			for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				nb := topology.Coord{X: x + d[0], Y: y + d[1]}
+				if ch := m.edges[at][nb]; ch != nil {
+					ch.SetTracer(tr)
+				}
+			}
+		}
+	}
 }
 
 // New builds the mesh. Dimensions must be positive; capacity must be
@@ -143,21 +166,43 @@ func (m *Mesh) Route(src, dst topology.Coord, size units.ByteSize, deliver func(
 		panic(fmt.Sprintf("router: route %v->%v off the mesh", src, dst))
 	}
 	start := m.eng.Now()
+	var id uint64
+	if m.tr != nil {
+		m.msgID++
+		id = m.msgID
+	}
+	blockedAt := units.Time(-1) // first refusal of the current wait, if any
 	var walk func(at topology.Coord)
 	walk = func(at topology.Coord) {
+		if m.tr != nil {
+			m.tr.SetActive(id)
+		}
 		if at == dst {
 			m.delivered++
 			m.latency.Record(m.eng.Now() - start)
+			if m.tr != nil {
+				m.tr.EndTxn(id, start, m.eng.Now())
+			}
 			if deliver != nil {
 				deliver()
 			}
 			return
 		}
+		sent := func(ch *link.Channel) {
+			if m.tr != nil && blockedAt >= 0 {
+				m.tr.Range(ch.Hop(), trace.CauseBackpressured, blockedAt, m.eng.Now())
+				blockedAt = -1
+			}
+		}
 		want := xyNext(at, dst)
 		ch := m.edges[at][want]
 		if ch.TrySend(size, func() { walk(want) }) {
 			m.hops++
+			sent(ch)
 			return
+		}
+		if blockedAt < 0 {
+			blockedAt = m.eng.Now()
 		}
 		if m.cfg.Mode == Bufferless {
 			// Deflect: take any free port, re-route from there. If every
@@ -174,6 +219,7 @@ func (m *Mesh) Route(src, dst topology.Coord, size units.ByteSize, deliver func(
 				if m.edges[at][nb].TrySend(size, func() { walk(nb) }) {
 					m.hops++
 					m.deflections++
+					sent(m.edges[at][nb])
 					return
 				}
 			}

@@ -1,0 +1,123 @@
+// Chrome trace_event JSON export/import. The format is the subset of the
+// Trace Event Format that Perfetto and chrome://tracing load: complete
+// ("X") duration events with microsecond ts/dur, one thread (track) per
+// registered hop, thread names carried by "M" metadata events.
+//
+// Timestamps are written as float microseconds with the shortest exact
+// decimal representation. Simulated times are picosecond integers far
+// below 2^53, so the float64 round trip is exact: reading a trace back
+// reproduces every span to the picosecond.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+
+	"repro/internal/units"
+)
+
+const psPerMicro = 1e6
+
+// micros renders a picosecond time as exact float microseconds.
+func micros(t units.Time) string {
+	return strconv.FormatFloat(float64(t)/psPerMicro, 'f', -1, 64)
+}
+
+// WriteTraceEvents streams the span ring as Chrome trace_event JSON:
+// one process, one track per hop (tid = hop id + 1), one complete event
+// per span named by its cause, with the transaction id in args.
+func (t *Tracer) WriteTraceEvents(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`)
+	bw.WriteString("\n")
+	fmt.Fprintf(bw, `{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"chiplet-net"}}`)
+	for i, h := range t.hops {
+		fmt.Fprintf(bw, ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":%s,\"kind\":%q}}",
+			i+1, strconv.Quote(h.Name), h.Kind.String())
+	}
+	t.EachSpan(func(s Span) {
+		fmt.Fprintf(bw, ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"name\":%q,\"args\":{\"txn\":%d}}",
+			int(s.Hop)+1, micros(s.Start), micros(s.Duration()), s.Cause.String(), s.Txn)
+	})
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// Loaded is a trace read back from trace_event JSON: the hop registry
+// reconstructed from track metadata plus every span.
+type Loaded struct {
+	Hops  []Hop
+	Spans []Span
+}
+
+// ReadTraceEvents parses trace_event JSON produced by WriteTraceEvents.
+// Unknown event phases are skipped so hand-edited traces still load;
+// span events with unknown cause names or tracks are an error.
+func ReadTraceEvents(r io.Reader) (*Loaded, error) {
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string  `json:"ph"`
+			Tid  int     `json:"tid"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Name string  `json:"name"`
+			Args struct {
+				Name string `json:"name"`
+				Kind string `json:"kind"`
+				Txn  uint64 `json:"txn"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("trace: parse trace_event JSON: %w", err)
+	}
+	ld := &Loaded{}
+	hop := func(tid int) (HopID, error) {
+		id := tid - 1
+		if id < 0 || id >= len(ld.Hops) {
+			return 0, fmt.Errorf("trace: event on unregistered track tid=%d", tid)
+		}
+		return HopID(id), nil
+	}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name != "thread_name" || ev.Tid == 0 {
+				continue
+			}
+			for len(ld.Hops) < ev.Tid {
+				ld.Hops = append(ld.Hops, Hop{})
+			}
+			h := &ld.Hops[ev.Tid-1]
+			h.Name = ev.Args.Name
+			if k, ok := KindFromString(ev.Args.Kind); ok {
+				h.Kind = k
+			}
+		case "X":
+			cause, ok := CauseFromString(ev.Name)
+			if !ok {
+				return nil, fmt.Errorf("trace: unknown span cause %q", ev.Name)
+			}
+			id, err := hop(ev.Tid)
+			if err != nil {
+				return nil, err
+			}
+			start := units.Time(math.Round(ev.Ts * psPerMicro))
+			dur := units.Time(math.Round(ev.Dur * psPerMicro))
+			ld.Spans = append(ld.Spans, Span{
+				Txn:   ev.Args.Txn,
+				Start: start,
+				End:   start + dur,
+				Hop:   id,
+				Cause: cause,
+			})
+		}
+	}
+	sort.SliceStable(ld.Spans, func(i, j int) bool { return ld.Spans[i].Start < ld.Spans[j].Start })
+	return ld, nil
+}

@@ -1,0 +1,219 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestCauseAndKindNamesRoundTrip(t *testing.T) {
+	for c := 0; c < NumCauses; c++ {
+		got, ok := CauseFromString(Cause(c).String())
+		if !ok || got != Cause(c) {
+			t.Fatalf("cause %d: round trip gave %v, %v", c, got, ok)
+		}
+	}
+	for _, k := range []Kind{KindChannel, KindPool, KindStage, KindDevice} {
+		got, ok := KindFromString(k.String())
+		if !ok || got != k {
+			t.Fatalf("kind %v: round trip gave %v, %v", k, got, ok)
+		}
+	}
+	if strings.HasPrefix(Cause(NumCauses).String(), "cause(") == false {
+		t.Fatalf("out-of-range cause should render as cause(N)")
+	}
+}
+
+func TestDisabledRecordsNothing(t *testing.T) {
+	tr := New(Config{SpanCap: 8, TxnCap: 8})
+	hop := tr.RegisterHop("link", KindChannel)
+	tr.SetActive(7)
+	tr.Enqueue(hop, units.CacheLine, 0, 1, 2, 3)
+	tr.Range(hop, CauseProcessing, 0, 10)
+	tr.Wait(hop, 7, 0, 5)
+	tr.EndTxn(7, 0, 10)
+	if tr.SpanCount() != 0 || tr.TxnCount() != 0 || tr.Active() != 0 {
+		t.Fatalf("disabled tracer recorded: spans=%d txns=%d active=%d",
+			tr.SpanCount(), tr.TxnCount(), tr.Active())
+	}
+	if c := tr.Counters(hop); c.Spans != 0 || c.Meter.Ops() != 0 {
+		t.Fatalf("disabled tracer counted: %+v", c)
+	}
+}
+
+func TestEnqueueSpansAndCounters(t *testing.T) {
+	tr := New(Config{SpanCap: 16, TxnCap: 8})
+	hop := tr.RegisterHop("gmi", KindChannel)
+	tr.Enable()
+	tr.SetActive(42)
+	// accept 10, start 30 (queued 20), done 50 (serializing 20),
+	// arrive 55 (propagating 5).
+	tr.Enqueue(hop, units.CacheLine, 10, 30, 50, 55)
+	var got []Span
+	tr.EachSpan(func(s Span) { got = append(got, s) })
+	want := []Span{
+		{Txn: 42, Start: 10, End: 30, Hop: hop, Cause: CauseQueued},
+		{Txn: 42, Start: 30, End: 50, Hop: hop, Cause: CauseSerializing},
+		{Txn: 42, Start: 50, End: 55, Hop: hop, Cause: CausePropagating},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d spans, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("span %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	c := tr.Counters(hop)
+	if c.Meter.Ops() != 1 || c.Meter.Bytes() != units.CacheLine {
+		t.Fatalf("meter = %v/%d", c.Meter.Bytes(), c.Meter.Ops())
+	}
+	if c.ByCause[CauseQueued] != 20 || c.ByCause[CauseSerializing] != 20 || c.ByCause[CausePropagating] != 5 {
+		t.Fatalf("cause totals = %v", c.ByCause)
+	}
+	if c.Busy() != 45 {
+		t.Fatalf("busy = %v, want 45", c.Busy())
+	}
+	// A zero-width leg (instant start, zero latency) must record no span.
+	before := tr.SpanCount()
+	tr.Enqueue(hop, units.CacheLine, 100, 100, 120, 120)
+	if tr.SpanCount() != before+1 {
+		t.Fatalf("zero-width legs recorded: %d spans added", tr.SpanCount()-before)
+	}
+}
+
+func TestSpanRingWrapKeepsCountersExact(t *testing.T) {
+	tr := New(Config{SpanCap: 4, TxnCap: 4})
+	hop := tr.RegisterHop("h", KindStage)
+	tr.Enable()
+	tr.SetActive(1)
+	for i := 0; i < 6; i++ {
+		from := units.Time(i * 10)
+		tr.Range(hop, CauseProcessing, from, from+10)
+	}
+	if tr.SpanCount() != 4 || tr.Dropped() != 2 {
+		t.Fatalf("ring: live=%d dropped=%d, want 4/2", tr.SpanCount(), tr.Dropped())
+	}
+	var starts []units.Time
+	tr.EachSpan(func(s Span) { starts = append(starts, s.Start) })
+	for i, want := range []units.Time{20, 30, 40, 50} {
+		if starts[i] != want {
+			t.Fatalf("oldest-first order broken: starts=%v", starts)
+		}
+	}
+	// Counters and attribution must still see all six spans.
+	if c := tr.Counters(hop); c.Spans != 6 || c.ByCause[CauseProcessing] != 60 {
+		t.Fatalf("counters after wrap: %+v", c)
+	}
+	if tr.AttributedTime()[CauseProcessing] != 60 {
+		t.Fatalf("attribution after wrap: %v", tr.AttributedTime())
+	}
+}
+
+func TestWaitRestoresActive(t *testing.T) {
+	tr := New(Config{SpanCap: 8, TxnCap: 8})
+	hop := tr.RegisterHop("pool", KindPool)
+	tr.Enable()
+	tr.SetActive(9) // some other transaction's release chain
+	tr.Wait(hop, 4, 100, 130)
+	if tr.Active() != 4 {
+		t.Fatalf("Wait did not restore active: %d", tr.Active())
+	}
+	var got Span
+	tr.EachSpan(func(s Span) { got = s })
+	want := Span{Txn: 4, Start: 100, End: 130, Hop: hop, Cause: CauseWindowStalled}
+	if got != want {
+		t.Fatalf("stall span = %+v, want %+v", got, want)
+	}
+}
+
+func TestReconcileAndBreakdown(t *testing.T) {
+	tr := New(Config{SpanCap: 32, TxnCap: 8})
+	a := tr.RegisterHop("a", KindChannel)
+	b := tr.RegisterHop("b", KindDevice)
+	tr.Enable()
+	// txn 1: [0,100] split 60/40 across two hops; txn 2: [50,80].
+	tr.SetActive(1)
+	tr.Range(a, CauseQueued, 0, 60)
+	tr.Range(b, CauseService, 60, 100)
+	tr.EndTxn(1, 0, 100)
+	tr.SetActive(2)
+	tr.Range(a, CauseSerializing, 50, 80)
+	tr.EndTxn(2, 50, 80)
+	recs := tr.Reconcile()
+	if len(recs) != 2 {
+		t.Fatalf("reconcile returned %d records", len(recs))
+	}
+	for _, r := range recs {
+		if r.Residual != 0 {
+			t.Fatalf("txn %d residual %v, want 0", r.Txn.ID, r.Residual)
+		}
+	}
+	if tr.TotalLatency() != 130 {
+		t.Fatalf("total latency %v, want 130", tr.TotalLatency())
+	}
+	rep := tr.BreakdownReport(5)
+	if !strings.Contains(rep, "100.00%") {
+		t.Fatalf("breakdown does not report full attribution:\n%s", rep)
+	}
+	if !strings.Contains(rep, "service") || !strings.Contains(rep, "txn 1") {
+		t.Fatalf("breakdown missing expected content:\n%s", rep)
+	}
+	if cr := tr.CounterReport(); !strings.Contains(cr, "a") || !strings.Contains(cr, "device") {
+		t.Fatalf("counter report missing hop rows:\n%s", cr)
+	}
+}
+
+func TestExportRoundTrip(t *testing.T) {
+	tr := New(Config{SpanCap: 32, TxnCap: 8})
+	ch := tr.RegisterHop("ccd0/gmi/out", KindChannel)
+	dev := tr.RegisterHop("umc0/dram", KindDevice)
+	tr.Enable()
+	tr.SetActive(3)
+	tr.Enqueue(ch, units.CacheLine, 1000, 1500, 2500, 11500)
+	tr.Range(dev, CauseService, 11500, 53211) // odd picosecond values
+	tr.EndTxn(3, 1000, 53211)
+
+	var buf bytes.Buffer
+	if err := tr.WriteTraceEvents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The output must be plain valid JSON.
+	var generic map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &generic); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if _, ok := generic["traceEvents"].([]any); !ok {
+		t.Fatalf("export lacks traceEvents array")
+	}
+
+	ld, err := ReadTraceEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ld.Hops) != 2 || ld.Hops[0].Name != "ccd0/gmi/out" || ld.Hops[1].Kind != KindDevice {
+		t.Fatalf("hops did not round trip: %+v", ld.Hops)
+	}
+	var orig []Span
+	tr.EachSpan(func(s Span) { orig = append(orig, s) })
+	if len(ld.Spans) != len(orig) {
+		t.Fatalf("got %d spans, want %d", len(ld.Spans), len(orig))
+	}
+	for i, s := range ld.Spans {
+		if s != orig[i] {
+			t.Fatalf("span %d did not round trip exactly: %+v vs %+v", i, s, orig[i])
+		}
+	}
+	if rep := ld.Report(5); !strings.Contains(rep, "umc0/dram") {
+		t.Fatalf("loaded report missing hop name:\n%s", rep)
+	}
+	if det := ld.TxnDetail(3); !strings.Contains(det, "service") {
+		t.Fatalf("txn detail missing span:\n%s", det)
+	}
+	if det := ld.TxnDetail(999); !strings.Contains(det, "no spans") {
+		t.Fatalf("missing-txn detail wrong:\n%s", det)
+	}
+}
