@@ -15,7 +15,9 @@ fi
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/harness/ ./internal/sim/
+# internal/core rides along for the use-after-recycle guard
+# (TestPinnedRetentionRaceFree).
+go test -race ./internal/harness/ ./internal/sim/ ./internal/core/
 
 # Observability overhead guards: an attached-but-disabled tracer must stay
 # within ~5% of a nil tracer on the channel hot path, and the tracer hooks
@@ -27,5 +29,14 @@ bench=$(go test ./internal/sim/ -run '^$' -bench 'BenchmarkEngine' -benchtime 10
 echo "$bench"
 if echo "$bench" | grep 'BenchmarkEngine' | grep -qv ' 0 allocs/op'; then
     echo "engine benchmarks allocate on the steady-state path" >&2
+    exit 1
+fi
+
+# The whole transaction pipeline must be allocation-free in steady state:
+# every DestKind x Op case, unloaded and loaded.
+bench=$(go test ./internal/core/ -run '^$' -bench 'BenchmarkNetworkIssue' -benchtime 5000x)
+echo "$bench"
+if echo "$bench" | grep 'BenchmarkNetworkIssue' | grep -qv ' 0 allocs/op'; then
+    echo "transaction pipeline allocates on the steady-state path" >&2
     exit 1
 fi

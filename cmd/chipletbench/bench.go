@@ -8,9 +8,11 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/txn"
 	"repro/internal/units"
 )
 
@@ -28,8 +30,61 @@ type benchReport struct {
 	GoMaxProcs       int              `json:"gomaxprocs"`
 	EngineEventChurn benchMeasurement `json:"engine_event_churn"`
 	EngineHeapFanout benchMeasurement `json:"engine_heap_fanout"`
-	ReproduceScale   int              `json:"reproduce_scale"`
-	ReproduceSeconds float64          `json:"reproduce_seconds"`
+	// NetworkIssue is the steady-state per-transaction cost (ns/txn,
+	// allocs/txn) of the core issue path, keyed "kind/op/load" — the
+	// whole-pipeline counterpart of the engine micro-benchmarks.
+	NetworkIssue     map[string]benchMeasurement `json:"network_issue"`
+	ReproduceScale   int                         `json:"reproduce_scale"`
+	ReproduceSeconds float64                     `json:"reproduce_seconds"`
+}
+
+// benchNetworkIssue measures every DestKind x Op transaction shape on the
+// EPYC 9634 profile, unloaded (one closed-loop chain) and loaded (twice
+// the hardware window), mirroring internal/core's BenchmarkNetworkIssue.
+func benchNetworkIssue() map[string]benchMeasurement {
+	kinds := []struct {
+		name string
+		a    core.Access
+	}{
+		{"dram", core.Access{Kind: core.DestDRAM}},
+		{"cxl", core.Access{Kind: core.DestCXL}},
+		{"llc-intra", core.Access{Kind: core.DestLLCIntra}},
+		{"llc-inter", core.Access{Kind: core.DestLLCInter, DstCCD: 1}},
+	}
+	ops := []struct {
+		name string
+		op   txn.Op
+	}{
+		{"read", txn.Read},
+		{"write", txn.Write},
+		{"ntwrite", txn.NTWrite},
+	}
+	out := make(map[string]benchMeasurement)
+	for _, k := range kinds {
+		for _, o := range ops {
+			a := k.a
+			a.Op = o.op
+			for _, load := range []string{"unloaded", "loaded"} {
+				loaded := load == "loaded"
+				r := testing.Benchmark(func(b *testing.B) {
+					eng := sim.New(1)
+					net := core.New(eng, topology.EPYC9634())
+					chains := 1
+					if loaded {
+						chains = 2 * net.WindowFor(a.Op, a.Kind)
+					}
+					net.DriveClosedLoop(a, chains, 2048)
+					b.ReportAllocs()
+					b.ResetTimer()
+					net.DriveClosedLoop(a, chains, b.N)
+				})
+				key := k.name + "/" + o.name + "/" + load
+				out[key] = measure(r)
+				fmt.Printf("NetworkIssue %-26s %v\n", key, r)
+			}
+		}
+	}
+	return out
 }
 
 func measure(r testing.BenchmarkResult) benchMeasurement {
@@ -75,6 +130,8 @@ func runBenchSuite(path string) error {
 	})
 	fmt.Printf("EngineHeapFanout  %v\n", fanout)
 
+	netIssue := benchNetworkIssue()
+
 	const scale = 8
 	opt := harness.Options{Seed: 42, TimeScale: scale}
 	start := time.Now()
@@ -88,6 +145,7 @@ func runBenchSuite(path string) error {
 		GoMaxProcs:       runtime.GOMAXPROCS(0),
 		EngineEventChurn: measure(churn),
 		EngineHeapFanout: measure(fanout),
+		NetworkIssue:     netIssue,
 		ReproduceScale:   scale,
 		ReproduceSeconds: elapsed.Seconds(),
 	}

@@ -73,61 +73,39 @@ func (a Access) destEndpoint(p *topology.Profile) txn.Endpoint {
 // invokes done with the completed transaction. extraTokens, if non-nil,
 // are flow-level injection windows acquired before the hardware pools
 // (the adaptive controllers of §3.5 live there).
+//
+// The transaction handed to done is recycled once done returns: a done
+// callback that retains the pointer must copy the struct or call Pin.
+// Everything else on this path — the walker frame, the hardware pool-set,
+// the traffic-matrix keys — is pooled or precomputed, so steady-state
+// issues allocate nothing.
 func (n *Network) Issue(a Access, extraTokens []*link.TokenPool, done func(*txn.Transaction)) {
 	n.nextID++
-	t := &txn.Transaction{
-		ID:   n.nextID,
-		Op:   a.Op,
-		Size: units.CacheLine,
-		Flow: txn.Flow{
-			Src: txn.CoreEP(a.Src),
-			Dst: a.destEndpoint(n.prof),
-		},
+	var t *txn.Transaction
+	if n.recycle {
+		t = n.txns.Get()
+	} else {
+		t = &txn.Transaction{}
 	}
-	hw := n.poolsFor(a)
-	acquireAll(extraTokens, 0, func() {
-		// Latency is measured from here: it includes waiting on the
-		// hardware traffic-control tokens (the paper's loaded-latency
-		// curves include those stalls — that is what the Table 2 "Max
-		// CCX Q" rows are), but not time spent queued behind a software
-		// flow window.
-		t.Issued = n.eng.Now()
-		n.trSet(t.ID)
-		acquireAll(hw, 0, func() {
-			finish := func() {
-				t.Completed = n.eng.Now()
-				if n.tracer != nil {
-					n.tracer.EndTxn(t.ID, t.Issued, t.Completed)
-				}
-				for i := len(hw) - 1; i >= 0; i-- {
-					hw[i].Release()
-				}
-				for i := len(extraTokens) - 1; i >= 0; i-- {
-					extraTokens[i].Release()
-				}
-				n.matrix.Record(t.Flow.Src.String(), t.Flow.Dst.String(), t.Size)
-				if done != nil {
-					done(t)
-				}
-			}
-			n.run(a, t.ID, finish)
-		})
-	})
-}
+	t.ID = n.nextID
+	t.Op = a.Op
+	t.Size = units.CacheLine
+	t.Flow = txn.Flow{Src: txn.CoreEP(a.Src), Dst: a.destEndpoint(n.prof)}
 
-// run dispatches the access to its path walker. id is the transaction id
-// the walker attributes trace spans to.
-func (n *Network) run(a Access, id uint64, finish func()) {
-	switch a.Kind {
-	case DestDRAM:
-		n.runDRAM(a, id, finish)
-	case DestCXL:
-		n.runCXL(a, id, finish)
-	case DestLLCIntra:
-		n.runLLCIntra(a, id, finish)
-	case DestLLCInter:
-		n.runLLCInter(a, id, finish)
-	}
+	idx := n.coreIndex(a.Src)
+	w := n.getWalker()
+	w.t = t
+	w.a = a
+	w.done = done
+	w.extra = extraTokens
+	w.hw = n.poolSets[idx*numPoolSets+poolSetIndex(a)]
+	w.srcKey = n.srcKeys[idx]
+	w.dstKey = n.dstKeyFor(a)
+	w.id = t.ID
+	w.wb = false
+	w.phase = phaseExtra
+	w.acq = 0
+	w.step()
 }
 
 // WindowFor reports the per-core hardware window (outstanding-request
@@ -151,45 +129,49 @@ func (n *Network) WindowFor(op txn.Op, kind DestKind) int {
 	}
 }
 
-// poolsFor reports the hardware token pools an access must hold, in the
-// global acquisition order (core window, CCX, CCD, device credits) that
-// keeps the token graph deadlock-free.
-func (n *Network) poolsFor(a Access) []*link.TokenPool {
-	idx := n.coreIndex(a.Src)
-	var pools []*link.TokenPool
-	switch a.Kind {
-	case DestDRAM:
-		if a.Op == txn.NTWrite {
-			pools = append(pools, n.writeWCBs[idx])
-		} else {
-			pools = append(pools, n.readMSHRs[idx])
-		}
-		pools = append(pools, n.ccxTokens[a.Src.CCD*n.prof.CCXPerCCD()+a.Src.CCX])
-		if n.ccdTokens != nil {
-			pools = append(pools, n.ccdTokens[a.Src.CCD])
-		}
-	case DestCXL:
-		if a.Op == txn.NTWrite {
-			pools = append(pools, n.cxlWrites[idx], n.devWrite[a.Src.CCD])
-		} else {
-			pools = append(pools, n.cxlReads[idx], n.devRead[a.Src.CCD])
-		}
-	case DestLLCIntra, DestLLCInter:
-		pools = append(pools, n.llcWindow[idx])
-		if a.Kind == DestLLCInter {
-			pools = append(pools, n.ccxTokens[a.Src.CCD*n.prof.CCXPerCCD()+a.Src.CCX])
+// DriveClosedLoop issues count transactions of access a across chains
+// closed-loop chains (each completion immediately reissues) and runs the
+// engine until everything, writebacks included, has drained. It is the
+// steady-state driver behind BenchmarkNetworkIssue and cmd/chipletbench's
+// per-transaction measurements.
+func (n *Network) DriveClosedLoop(a Access, chains, count int) {
+	issued := 0
+	var done func(*txn.Transaction)
+	done = func(*txn.Transaction) {
+		if issued < count {
+			issued++
+			n.Issue(a, nil, done)
 		}
 	}
-	return pools
+	for i := 0; i < chains && issued < count; i++ {
+		issued++
+		n.Issue(a, nil, done)
+	}
+	n.eng.Run()
 }
 
-// acquireAll acquires pools[i:] in order, then runs fn.
-func acquireAll(pools []*link.TokenPool, i int, fn func()) {
-	if i >= len(pools) {
-		fn()
-		return
+// retryQuantum reports the backoff quantum for a message blocked on a
+// channel of the given capacity: about one service quantum of the blocked
+// message itself, so a cacheline probes every couple of nanoseconds and a
+// bulk DMA chunk only as often as the link could actually drain it.
+// Sub-cacheline messages are floored at the cacheline quantum (acks must
+// not spin faster than data), and zero-capacity channels — whose
+// TimeToSend is zero — at one nanosecond so retries always make progress.
+func retryQuantum(capacity units.Bandwidth, size units.ByteSize) units.Time {
+	quantum := capacity.TimeToSend(size)
+	if floor := capacity.TimeToSend(units.CacheLine); quantum < floor {
+		quantum = floor
 	}
-	pools[i].Acquire(func() { acquireAll(pools, i+1, fn) })
+	if quantum <= 0 {
+		quantum = units.Nanosecond
+	}
+	return quantum
+}
+
+// retryBackoff jitters a retry quantum uniformly over [q/2, 3q/2] using
+// the engine's seeded stream, desynchronizing competing retriers.
+func (n *Network) retryBackoff(quantum units.Time) units.Time {
+	return quantum/2 + units.Time(n.eng.Rand().Int63n(int64(quantum)+1))
 }
 
 // SendWithRetry sends on a bounded channel, retrying after a jittered
@@ -206,7 +188,9 @@ func (n *Network) SendWithRetry(ch *link.Channel, size units.ByteSize, extra uni
 }
 
 // pushWithRetry sends for transaction id; time between the first refusal
-// and the eventual acceptance is attributed as backpressure.
+// and the eventual acceptance is attributed as backpressure. Core
+// transactions use the allocation-free walker equivalent (walker.attempt);
+// this closure form remains for composing subsystems whose sends are rare.
 func (n *Network) pushWithRetry(ch *link.Channel, size units.ByteSize, extra units.Time, id uint64, then func()) {
 	blocked := units.Time(-1)
 	var attempt func()
@@ -221,270 +205,7 @@ func (n *Network) pushWithRetry(ch *link.Channel, size units.ByteSize, extra uni
 		if blocked < 0 {
 			blocked = n.eng.Now()
 		}
-		// Retry after about one service quantum of the blocked message
-		// itself: a cacheline probes every couple of nanoseconds, a bulk
-		// DMA chunk only as often as the link could actually drain it.
-		quantum := ch.Capacity().TimeToSend(size)
-		if floor := ch.Capacity().TimeToSend(units.CacheLine); quantum < floor {
-			quantum = floor
-		}
-		if quantum <= 0 {
-			quantum = units.Nanosecond
-		}
-		backoff := quantum/2 + units.Time(n.eng.Rand().Int63n(int64(quantum)+1))
-		n.eng.After(backoff, attempt)
+		n.eng.After(n.retryBackoff(retryQuantum(ch.Capacity(), size)), attempt)
 	}
 	attempt()
-}
-
-// runDRAM walks a memory transaction: CCM -> GMI -> switch hops -> CS ->
-// UMC -> DRAM, response back through the NoC and GMI (Fig 2's path).
-//
-// Every walker follows the same tracing discipline: re-establish the
-// active transaction at the top of each event callback, and attribute the
-// deterministic delays the channels cannot see (CCM handling, switch-hop
-// runs riding the NoC's per-message extra, device service) to their named
-// stage hops, retroactively where the delay has just elapsed. Together
-// with the channel and pool hooks, the spans tile [Issued, Completed]
-// exactly.
-func (n *Network) runDRAM(a Access, id uint64, finish func()) {
-	p := n.prof
-	ccd := a.Src.CCD
-	dram := n.drams[a.UMC]
-	shops := n.noc.MemoryHopDelay(ccd, a.UMC)
-	hopExtra := shops + p.CSLatency
-	switch a.Op {
-	case txn.Read, txn.Write:
-		// A temporal write is a read-for-ownership: the line is fetched
-		// like a read; the dirty writeback happens asynchronously later.
-		n.eng.After(p.CacheMissBase, func() {
-			n.trSet(id)
-			n.trBefore(n.ccmHop(ccd), trace.CauseProcessing, p.CacheMissBase)
-			n.pushWithRetry(n.gmiOut[ccd], p.ReadRequestSize, 0, id, func() {
-				n.trSet(id)
-				n.pushWithRetry(n.noc.Write, p.ReadRequestSize, hopExtra, id, func() {
-					n.trSet(id)
-					n.trMeshHops(shops, p.CSLatency)
-					access := dram.AccessTime()
-					n.trAfter(dram.ServiceHop(), trace.CauseService, access)
-					n.eng.After(access, func() {
-						n.trSet(id)
-						dram.Read.Send(units.CacheLine, func() {
-							n.trSet(id)
-							n.noc.Read.Send(units.CacheLine, func() {
-								n.trSet(id)
-								n.gmiIn[ccd].Send(units.CacheLine, func() {
-									if a.Op == txn.Write {
-										n.writebackDRAM(a)
-									}
-									finish()
-								})
-							})
-						})
-					})
-				})
-			})
-		})
-	case txn.NTWrite:
-		n.eng.After(p.CacheMissBase, func() {
-			n.trSet(id)
-			n.trBefore(n.ccmHop(ccd), trace.CauseProcessing, p.CacheMissBase)
-			n.pushWithRetry(n.gmiOut[ccd], units.CacheLine, 0, id, func() {
-				n.trSet(id)
-				n.pushWithRetry(n.noc.Write, units.CacheLine, hopExtra, id, func() {
-					n.trSet(id)
-					n.trMeshHops(shops, p.CSLatency)
-					dram.Write.Send(units.CacheLine, func() {
-						n.trSet(id)
-						access := dram.AccessTime()
-						n.trAfter(dram.ServiceHop(), trace.CauseService, access)
-						n.eng.After(access, func() {
-							n.trSet(id)
-							n.noc.Read.Send(p.WriteAckSize, func() {
-								n.trSet(id)
-								n.gmiIn[ccd].Send(p.WriteAckSize, finish)
-							})
-						})
-					})
-				})
-			})
-		})
-	}
-}
-
-// writebackDRAM models the asynchronous dirty-line eviction a temporal
-// write eventually causes: it consumes write-path bandwidth but completes
-// nobody.
-func (n *Network) writebackDRAM(a Access) {
-	p := n.prof
-	ccd := a.Src.CCD
-	dram := n.drams[a.UMC]
-	hopExtra := n.noc.MemoryHopDelay(ccd, a.UMC) + p.CSLatency
-	// Writebacks complete nobody, so they trace as infrastructure (id 0):
-	// counted in the per-hop registry, excluded from transaction tilings.
-	n.pushWithRetry(n.gmiOut[ccd], units.CacheLine, 0, 0, func() {
-		n.pushWithRetry(n.noc.Write, units.CacheLine, hopExtra, 0, func() {
-			n.trSet(0)
-			dram.Write.Send(units.CacheLine, nil)
-		})
-	})
-}
-
-// runCXL walks a device transaction: CCM -> GMI -> switch hops -> I/O hub
-// -> root complex -> P link -> CXL module, riding 68 B flits on the CXL
-// leg (§3.2's device path; Table 2's 243 ns row).
-func (n *Network) runCXL(a Access, id uint64, finish func()) {
-	p := n.prof
-	ccd := a.Src.CCD
-	mod := n.cxls[a.Module]
-	hubShops := n.noc.IOHopDelay(ccd)
-	hubExtra := hubShops + p.IOHubLatency + p.RootComplexLatency
-	switch a.Op {
-	case txn.Read, txn.Write:
-		n.eng.After(p.CacheMissBase, func() {
-			n.trSet(id)
-			n.trBefore(n.ccmHop(ccd), trace.CauseProcessing, p.CacheMissBase)
-			n.pushWithRetry(n.gmiOut[ccd], p.ReadRequestSize, 0, id, func() {
-				n.trSet(id)
-				n.pushWithRetry(n.noc.Write, p.ReadRequestSize, hubExtra, id, func() {
-					n.trSet(id)
-					n.trHubHops(hubShops, p.IOHubLatency, p.RootComplexLatency)
-					n.pushWithRetry(mod.Write, p.ReadRequestSize, p.PLinkLatency, id, func() {
-						n.trSet(id)
-						n.trBefore(mod.PLinkHop(), trace.CausePropagating, p.PLinkLatency)
-						access := mod.AccessTime()
-						n.trAfter(mod.ServiceHop(), trace.CauseService, access)
-						n.eng.After(access, func() {
-							n.trSet(id)
-							mod.Read.Send(mod.FlitSize(units.CacheLine), func() {
-								n.trSet(id)
-								n.noc.Read.Send(units.CacheLine, func() {
-									n.trSet(id)
-									n.gmiIn[ccd].Send(units.CacheLine, finish)
-								})
-							})
-						})
-					})
-				})
-			})
-		})
-	case txn.NTWrite:
-		n.eng.After(p.CacheMissBase, func() {
-			n.trSet(id)
-			n.trBefore(n.ccmHop(ccd), trace.CauseProcessing, p.CacheMissBase)
-			n.pushWithRetry(n.gmiOut[ccd], units.CacheLine, 0, id, func() {
-				n.trSet(id)
-				n.pushWithRetry(n.noc.Write, units.CacheLine, hubExtra, id, func() {
-					n.trSet(id)
-					n.trHubHops(hubShops, p.IOHubLatency, p.RootComplexLatency)
-					n.pushWithRetry(mod.Write, mod.FlitSize(units.CacheLine), p.PLinkLatency, id, func() {
-						n.trSet(id)
-						n.trBefore(mod.PLinkHop(), trace.CausePropagating, p.PLinkLatency)
-						access := mod.AccessTime()
-						n.trAfter(mod.ServiceHop(), trace.CauseService, access)
-						n.eng.After(access, func() {
-							n.trSet(id)
-							mod.Read.Send(p.WriteAckSize, func() {
-								n.trSet(id)
-								n.noc.Read.Send(p.WriteAckSize, func() {
-									n.trSet(id)
-									n.gmiIn[ccd].Send(p.WriteAckSize, finish)
-								})
-							})
-						})
-					})
-				})
-			})
-		})
-	}
-}
-
-// runLLCIntra walks a cache-to-cache transfer within one compute chiplet.
-func (n *Network) runLLCIntra(a Access, id uint64, finish func()) {
-	p := n.prof
-	ccd := a.Src.CCD
-	extra := p.IntraCCLatency + n.llcJitter.Sample()
-	switch a.Op {
-	case txn.Read, txn.Write:
-		n.pushWithRetry(n.intraOut[ccd], p.ReadRequestSize, extra, id, func() {
-			n.trSet(id)
-			n.trBefore(n.ifHop(ccd), trace.CausePropagating, extra)
-			n.intraIn[ccd].Send(units.CacheLine, finish)
-		})
-	case txn.NTWrite:
-		n.pushWithRetry(n.intraOut[ccd], units.CacheLine, extra, id, func() {
-			n.trSet(id)
-			n.trBefore(n.ifHop(ccd), trace.CausePropagating, extra)
-			n.intraIn[ccd].Send(p.WriteAckSize, finish)
-		})
-	}
-}
-
-// runLLCInter walks a cache-to-cache transfer between compute chiplets:
-// out through the source GMI, across the I/O die, into the target chiplet,
-// and back. Requests and responses ride opposite GMI directions on both
-// chiplets, which is why the paper sees inter-CC interference only at much
-// higher aggregate bandwidth ("the I/O chiplet provisions more than one
-// routing path").
-func (n *Network) runLLCInter(a Access, id uint64, finish func()) {
-	p := n.prof
-	src, dst := a.Src.CCD, a.DstCCD
-	// The deterministic latency budget beyond the explicitly modelled legs
-	// (GMI crossings and the remote LLC lookup), plus coherence jitter.
-	extra := p.InterCCLatency - p.CacheMissBase - 2*p.GMILinkLatency - p.L3Latency
-	if extra < 0 {
-		extra = 0
-	}
-	extra += n.llcJitter.Sample()
-	respond := func(size units.ByteSize) {
-		n.gmiOut[dst].Send(size, func() {
-			n.trSet(id)
-			n.noc.Read.Send(size, func() {
-				n.trSet(id)
-				n.gmiIn[src].Send(size, finish)
-			})
-		})
-	}
-	switch a.Op {
-	case txn.Read, txn.Write:
-		n.eng.After(p.CacheMissBase, func() {
-			n.trSet(id)
-			n.trBefore(n.ccmHop(src), trace.CauseProcessing, p.CacheMissBase)
-			n.pushWithRetry(n.gmiOut[src], p.ReadRequestSize, 0, id, func() {
-				n.trSet(id)
-				n.pushWithRetry(n.noc.Write, p.ReadRequestSize, extra, id, func() {
-					n.trSet(id)
-					n.trBefore(n.interHop, trace.CausePropagating, extra)
-					n.gmiIn[dst].Send(p.ReadRequestSize, func() {
-						n.trSet(id)
-						n.trAfter(n.llcHop(dst), trace.CauseProcessing, p.L3Latency)
-						n.eng.After(p.L3Latency, func() {
-							n.trSet(id)
-							respond(units.CacheLine)
-						})
-					})
-				})
-			})
-		})
-	case txn.NTWrite:
-		n.eng.After(p.CacheMissBase, func() {
-			n.trSet(id)
-			n.trBefore(n.ccmHop(src), trace.CauseProcessing, p.CacheMissBase)
-			n.pushWithRetry(n.gmiOut[src], units.CacheLine, 0, id, func() {
-				n.trSet(id)
-				n.pushWithRetry(n.noc.Write, units.CacheLine, extra, id, func() {
-					n.trSet(id)
-					n.trBefore(n.interHop, trace.CausePropagating, extra)
-					n.gmiIn[dst].Send(units.CacheLine, func() {
-						n.trSet(id)
-						n.trAfter(n.llcHop(dst), trace.CauseProcessing, p.L3Latency)
-						n.eng.After(p.L3Latency, func() {
-							n.trSet(id)
-							respond(p.WriteAckSize)
-						})
-					})
-				})
-			})
-		})
-	}
 }

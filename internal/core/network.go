@@ -33,6 +33,7 @@ import (
 	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/trace"
+	"repro/internal/txn"
 )
 
 // Network is one chiplet server SoC's intra-host network.
@@ -72,6 +73,23 @@ type Network struct {
 
 	matrix *telemetry.TrafficMatrix
 	nextID uint64
+
+	// Hot-path flyweights, built once at construction: the hardware token
+	// pool-set per (core, DestKind, Op-class) in acquisition order, and
+	// the interned traffic-matrix key per endpoint. Issue never formats a
+	// string or appends a slice.
+	poolSets [][]*link.TokenPool // core*numPoolSets + poolSetIndex
+	srcKeys  []telemetry.EndpointID
+	dramKeys []telemetry.EndpointID
+	cxlKeys  []telemetry.EndpointID
+	llcKeys  []telemetry.EndpointID // per CCX: index ccd*CCXPerCCD+ccx
+
+	// Free lists for the per-transaction objects, plus the recycling
+	// switch the determinism guard flips off to prove pooling is
+	// invisible to results.
+	txns    txn.Pool
+	freeW   []*walker
+	recycle bool
 
 	// Flight recorder (nil unless AttachTracer wired one in) and the
 	// path-stage hops the issuing layer attributes to directly.
@@ -138,8 +156,115 @@ func New(eng *sim.Engine, prof *topology.Profile) *Network {
 			n.cxlWrites = append(n.cxlWrites, link.NewTokenPool(eng, name+"/cxlwr", prof.CoreCXLWrites))
 		}
 	}
+	n.recycle = true
+	n.buildPoolSets()
+	n.buildMatrixKeys()
 	return n
 }
+
+// numPoolSets is the pool-set slots per core: four destination kinds times
+// two operation classes (demand read/RFO vs. non-temporal write).
+const numPoolSets = 8
+
+// poolSetIndex selects an access's slot within a core's pool-set block.
+func poolSetIndex(a Access) int {
+	i := int(a.Kind) * 2
+	if a.Op == txn.NTWrite {
+		i++
+	}
+	return i
+}
+
+// buildPoolSets precomputes, per (core, kind, op-class), the hardware token
+// pools an access must hold in the global acquisition order (core window,
+// CCX, CCD, device credits) that keeps the token graph deadlock-free.
+func (n *Network) buildPoolSets() {
+	p := n.prof
+	n.poolSets = make([][]*link.TokenPool, p.Cores*numPoolSets)
+	for ccd := 0; ccd < p.CCDs; ccd++ {
+		for ccx := 0; ccx < p.CCXPerCCD(); ccx++ {
+			for c := 0; c < p.CoresPerCCX(); c++ {
+				idx := n.coreIndex(topology.CoreID{CCD: ccd, CCX: ccx, Core: c})
+				ccxPool := n.ccxTokens[ccd*p.CCXPerCCD()+ccx]
+				base := idx * numPoolSets
+				dramRW := []*link.TokenPool{n.readMSHRs[idx], ccxPool}
+				dramNT := []*link.TokenPool{n.writeWCBs[idx], ccxPool}
+				if n.ccdTokens != nil {
+					dramRW = append(dramRW, n.ccdTokens[ccd])
+					dramNT = append(dramNT, n.ccdTokens[ccd])
+				}
+				n.poolSets[base+int(DestDRAM)*2] = dramRW
+				n.poolSets[base+int(DestDRAM)*2+1] = dramNT
+				if p.CXLModules > 0 {
+					n.poolSets[base+int(DestCXL)*2] = []*link.TokenPool{n.cxlReads[idx], n.devRead[ccd]}
+					n.poolSets[base+int(DestCXL)*2+1] = []*link.TokenPool{n.cxlWrites[idx], n.devWrite[ccd]}
+				}
+				intra := []*link.TokenPool{n.llcWindow[idx]}
+				n.poolSets[base+int(DestLLCIntra)*2] = intra
+				n.poolSets[base+int(DestLLCIntra)*2+1] = intra
+				inter := []*link.TokenPool{n.llcWindow[idx], ccxPool}
+				n.poolSets[base+int(DestLLCInter)*2] = inter
+				n.poolSets[base+int(DestLLCInter)*2+1] = inter
+			}
+		}
+	}
+}
+
+// buildMatrixKeys interns every endpoint name the network can record, so
+// the per-transaction matrix update is two integer map operations.
+func (n *Network) buildMatrixKeys() {
+	p := n.prof
+	n.srcKeys = make([]telemetry.EndpointID, p.Cores)
+	for ccd := 0; ccd < p.CCDs; ccd++ {
+		for ccx := 0; ccx < p.CCXPerCCD(); ccx++ {
+			for c := 0; c < p.CoresPerCCX(); c++ {
+				id := topology.CoreID{CCD: ccd, CCX: ccx, Core: c}
+				n.srcKeys[n.coreIndex(id)] = n.matrix.Intern(txn.CoreEP(id).String())
+			}
+		}
+	}
+	n.dramKeys = make([]telemetry.EndpointID, p.UMCChannels)
+	for u := 0; u < p.UMCChannels; u++ {
+		n.dramKeys[u] = n.matrix.Intern(txn.DRAMEP(u).String())
+	}
+	n.cxlKeys = make([]telemetry.EndpointID, p.CXLModules)
+	for m := 0; m < p.CXLModules; m++ {
+		n.cxlKeys[m] = n.matrix.Intern(txn.CXLEP(m).String())
+	}
+	n.llcKeys = make([]telemetry.EndpointID, p.CCXs)
+	for ccd := 0; ccd < p.CCDs; ccd++ {
+		for ccx := 0; ccx < p.CCXPerCCD(); ccx++ {
+			id := topology.CCXID{CCD: ccd, CCX: ccx}
+			n.llcKeys[ccd*p.CCXPerCCD()+ccx] = n.matrix.Intern(txn.LLCEP(id).String())
+		}
+	}
+}
+
+// dstKeyFor resolves the interned matrix key of an access's destination;
+// it mirrors Access.destEndpoint.
+func (n *Network) dstKeyFor(a Access) telemetry.EndpointID {
+	switch a.Kind {
+	case DestDRAM:
+		return n.dramKeys[a.UMC]
+	case DestCXL:
+		return n.cxlKeys[a.Module]
+	case DestLLCIntra:
+		peer := (a.Src.CCX + 1) % n.prof.CCXPerCCD()
+		return n.llcKeys[a.Src.CCD*n.prof.CCXPerCCD()+peer]
+	case DestLLCInter:
+		return n.llcKeys[a.DstCCD*n.prof.CCXPerCCD()]
+	default:
+		panic(fmt.Sprintf("core: unknown destination kind %d", int(a.Kind)))
+	}
+}
+
+// SetRecycling toggles the transaction and walker free lists. Recycling is
+// on by default; with it off every Issue allocates fresh objects. Results
+// are identical either way — the determinism guard test relies on that.
+func (n *Network) SetRecycling(on bool) { n.recycle = on }
+
+// Recycling reports whether free-list reuse is enabled.
+func (n *Network) Recycling() bool { return n.recycle }
 
 // Engine reports the simulation engine driving the network.
 func (n *Network) Engine() *sim.Engine { return n.eng }

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/txn"
+	"repro/internal/units"
+)
+
+// TestTransactionRecycled pins down the recycling contract: once done
+// returns, the transaction object goes back to the free list, is reused by
+// a later Issue, and its fields are overwritten. A consumer that wants the
+// values must copy them out (or Pin, below).
+func TestTransactionRecycled(t *testing.T) {
+	net := newNet(topology.EPYC9634())
+	a := Access{Op: txn.Read, Kind: DestDRAM}
+
+	var first *txn.Transaction
+	var firstID uint64
+	net.Issue(a, nil, func(tx *txn.Transaction) {
+		first = tx
+		firstID = tx.ID
+	})
+	net.Engine().Run()
+
+	var second *txn.Transaction
+	net.Issue(a, nil, func(tx *txn.Transaction) { second = tx })
+	net.Engine().Run()
+
+	if second != first {
+		t.Fatal("second transaction should reuse the recycled object")
+	}
+	if first.ID == firstID {
+		t.Fatalf("retained pointer kept ID %d; recycling should have overwritten it", firstID)
+	}
+}
+
+// TestPinPreventsRecycle: a done callback that pins the transaction keeps
+// a stable object — later issues allocate fresh ones.
+func TestPinPreventsRecycle(t *testing.T) {
+	net := newNet(topology.EPYC9634())
+	a := Access{Op: txn.Read, Kind: DestDRAM}
+
+	var first *txn.Transaction
+	var firstID uint64
+	net.Issue(a, nil, func(tx *txn.Transaction) {
+		tx.Pin()
+		first = tx
+		firstID = tx.ID
+	})
+	net.Engine().Run()
+
+	var second *txn.Transaction
+	net.Issue(a, nil, func(tx *txn.Transaction) { second = tx })
+	net.Engine().Run()
+
+	if second == first {
+		t.Fatal("pinned transaction must not be reused")
+	}
+	if first.ID != firstID || !first.Pinned() {
+		t.Errorf("pinned transaction mutated: ID %d -> %d", firstID, first.ID)
+	}
+}
+
+// TestRecyclingOff: with the free lists disabled every transaction is a
+// fresh allocation, as before the pooling change.
+func TestRecyclingOff(t *testing.T) {
+	net := newNet(topology.EPYC9634())
+	net.SetRecycling(false)
+	if net.Recycling() {
+		t.Fatal("SetRecycling(false) did not stick")
+	}
+	a := Access{Op: txn.Read, Kind: DestDRAM}
+
+	var first, second *txn.Transaction
+	net.Issue(a, nil, func(tx *txn.Transaction) { first = tx })
+	net.Engine().Run()
+	net.Issue(a, nil, func(tx *txn.Transaction) { second = tx })
+	net.Engine().Run()
+
+	if second == first {
+		t.Fatal("recycling disabled, but the transaction object was reused")
+	}
+	if first.ID == second.ID {
+		t.Error("distinct transactions share an ID")
+	}
+}
+
+// TestPinnedRetentionRaceFree is the race-detector guard for
+// use-after-recycle: a consumer goroutine reads pinned transactions while
+// the simulation keeps issuing (the chiplettrace-style retain pattern).
+// Pinned objects are never recycled, so the reader and the simulation
+// never touch the same memory; if Pin were broken the free-list reuse
+// would overwrite fields under the reader and `go test -race` (wired into
+// ci.sh) would flag it.
+func TestPinnedRetentionRaceFree(t *testing.T) {
+	const count = 300
+	net := newNet(topology.EPYC9634())
+	a := Access{Op: txn.Read, Kind: DestDRAM}
+
+	ch := make(chan *txn.Transaction, count)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var total units.Time
+	go func() {
+		defer wg.Done()
+		for tx := range ch {
+			total += tx.Latency()
+		}
+	}()
+
+	issued := 1
+	var done func(*txn.Transaction)
+	done = func(tx *txn.Transaction) {
+		tx.Pin()
+		ch <- tx
+		if issued < count {
+			issued++
+			net.Issue(a, nil, done)
+		}
+	}
+	net.Issue(a, nil, done)
+	net.Engine().Run()
+	close(ch)
+	wg.Wait()
+
+	if total <= 0 {
+		t.Error("retained transactions lost their completion times")
+	}
+}
+
+// TestRetryQuantumFloors pins the backoff edge cases: sub-cacheline
+// messages floor at the cacheline service quantum, and zero-capacity
+// channels (TimeToSend == 0) floor at one nanosecond.
+func TestRetryQuantumFloors(t *testing.T) {
+	bw := units.GBps(64) // 64 B / 64 GB/s = 1 ns per cacheline
+	if got := retryQuantum(bw, units.CacheLine); got != units.Nanosecond {
+		t.Errorf("cacheline quantum = %v, want 1ns", got)
+	}
+	// An 8 B ack must not probe faster than a cacheline would.
+	if got := retryQuantum(bw, 8); got != units.Nanosecond {
+		t.Errorf("sub-cacheline quantum = %v, want cacheline floor 1ns", got)
+	}
+	// Bulk messages back off at their own (longer) drain time.
+	if got := retryQuantum(bw, 4*units.CacheLine); got != 4*units.Nanosecond {
+		t.Errorf("bulk quantum = %v, want 4ns", got)
+	}
+	// Zero capacity: TimeToSend reports 0; the quantum floors at 1 ns so
+	// retries always make progress.
+	if got := retryQuantum(0, units.CacheLine); got != units.Nanosecond {
+		t.Errorf("zero-capacity quantum = %v, want 1ns", got)
+	}
+}
+
+// TestRetryBackoffJitterBounds pins the jitter window: backoffs are
+// uniform over [q/2, 3q/2] and exercise both halves of the range.
+func TestRetryBackoffJitterBounds(t *testing.T) {
+	net := newNet(topology.EPYC9634())
+	q := 100 * units.Nanosecond
+	lo, hi := q/2, q/2+q
+	var sawLow, sawHigh bool
+	for i := 0; i < 2000; i++ {
+		b := net.retryBackoff(q)
+		if b < lo || b > hi {
+			t.Fatalf("backoff %v outside [%v, %v]", b, lo, hi)
+		}
+		if b < q {
+			sawLow = true
+		}
+		if b > q {
+			sawHigh = true
+		}
+	}
+	if !sawLow || !sawHigh {
+		t.Error("jitter never covered both halves of the window")
+	}
+}

@@ -66,15 +66,15 @@ func chaseLocal(sys *numa.System, count int) units.Time {
 	var h telemetry.Histogram
 	done := 0
 	var step func()
+	record := func(t *txn.Transaction) {
+		h.Record(t.Latency())
+		done++
+		if done < count {
+			step()
+		}
+	}
 	step = func() {
-		sys.Socket(0).Issue(icore.Access{Op: txn.Read, Kind: icore.DestDRAM, UMC: 0}, nil,
-			func(t *txn.Transaction) {
-				h.Record(t.Latency())
-				done++
-				if done < count {
-					step()
-				}
-			})
+		sys.Socket(0).Issue(icore.Access{Op: txn.Read, Kind: icore.DestDRAM, UMC: 0}, nil, record)
 	}
 	step()
 	sys.Engine().Run()
@@ -85,14 +85,15 @@ func chaseRemote(sys *numa.System, count int) units.Time {
 	var h telemetry.Histogram
 	done := 0
 	var step func()
+	record := func(t *txn.Transaction) {
+		h.Record(t.Latency())
+		done++
+		if done < count {
+			step()
+		}
+	}
 	step = func() {
-		sys.IssueRemote(0, topology.CoreID{}, txn.Read, 0, func(t *txn.Transaction) {
-			h.Record(t.Latency())
-			done++
-			if done < count {
-				step()
-			}
-		})
+		sys.IssueRemote(0, topology.CoreID{}, txn.Read, 0, record)
 	}
 	step()
 	sys.Engine().Run()
@@ -119,17 +120,23 @@ func remoteReadBW(opt Options) units.Bandwidth {
 	umcs := p.UMCSet(topology.NPS1, 0)
 	var meter telemetry.Meter
 	n := 0
-	var loop func(src topology.CoreID)
-	loop = func(src topology.CoreID) {
-		sys.IssueRemote(0, src, txn.Read, umcs[n%len(umcs)], func(t *txn.Transaction) {
+	// One continuation pair per chain (bound at start) instead of a fresh
+	// closure per issued transaction.
+	startChain := func(src topology.CoreID) {
+		var issue func()
+		record := func(t *txn.Transaction) {
 			meter.Record(t.Size)
 			n++
-			loop(src)
-		})
+			issue()
+		}
+		issue = func() {
+			sys.IssueRemote(0, src, txn.Read, umcs[n%len(umcs)], record)
+		}
+		issue()
 	}
 	for _, src := range allCores(p) {
 		for k := 0; k < p.CoreReadMSHRs; k++ {
-			loop(src)
+			startChain(src)
 		}
 	}
 	sys.Engine().RunFor(opt.scale(20 * units.Microsecond))

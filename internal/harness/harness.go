@@ -30,6 +30,10 @@ type Options struct {
 	// GOMAXPROCS; 1 forces strictly serial execution. Results are
 	// identical for every value — see runCells.
 	Workers int
+	// DisableRecycle turns off the transaction/walker free lists in every
+	// network the harness builds. Results are byte-identical either way;
+	// the determinism guard test flips this to prove pooling is invisible.
+	DisableRecycle bool
 }
 
 // DefaultOptions runs experiments at full length with a fixed seed.
@@ -51,7 +55,11 @@ func (o Options) scale(d units.Time) units.Time {
 
 // newNet builds a fresh engine+network pair for a profile.
 func (o Options) newNet(p *topology.Profile) *core.Network {
-	return core.New(sim.New(o.Seed), p)
+	n := core.New(sim.New(o.Seed), p)
+	if o.DisableRecycle {
+		n.SetRecycling(false)
+	}
+	return n
 }
 
 // ccdCores enumerates every core of one compute chiplet.

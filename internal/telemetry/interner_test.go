@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestInternIsStable(t *testing.T) {
+	tm := NewTrafficMatrix()
+	a := tm.Intern("core:ccd0/ccx0/core0")
+	b := tm.Intern("dram:umc1")
+	if a == b {
+		t.Fatal("distinct names interned to the same ID")
+	}
+	if tm.Intern("core:ccd0/ccx0/core0") != a {
+		t.Error("re-interning a name changed its ID")
+	}
+	if tm.Name(a) != "core:ccd0/ccx0/core0" || tm.Name(b) != "dram:umc1" {
+		t.Error("Name does not round-trip Intern")
+	}
+}
+
+func TestRecordIDMatchesRecord(t *testing.T) {
+	byName := NewTrafficMatrix()
+	byName.Record("src", "dst", 3*units.CacheLine)
+	byName.Record("src", "other", units.CacheLine)
+
+	byID := NewTrafficMatrix()
+	src, dst, other := byID.Intern("src"), byID.Intern("dst"), byID.Intern("other")
+	byID.RecordID(src, dst, 3*units.CacheLine)
+	byID.RecordID(src, other, units.CacheLine)
+
+	if byName.String() != byID.String() {
+		t.Errorf("render mismatch:\n%q\nvs\n%q", byName.String(), byID.String())
+	}
+	if byID.Bytes("src", "dst") != 3*units.CacheLine {
+		t.Error("string lookup broken after ID records")
+	}
+	if byID.TotalFrom("src") != 4*units.CacheLine || byID.TotalTo("dst") != 3*units.CacheLine {
+		t.Error("totals broken after ID records")
+	}
+}
+
+func TestUnknownNamesReadZero(t *testing.T) {
+	tm := NewTrafficMatrix()
+	tm.Record("a", "b", units.CacheLine)
+	if tm.Bytes("nope", "b") != 0 || tm.Bytes("a", "nope") != 0 {
+		t.Error("unknown endpoint should read zero bytes")
+	}
+	if tm.TotalFrom("nope") != 0 || tm.TotalTo("nope") != 0 {
+		t.Error("unknown endpoint should have zero totals")
+	}
+	// Interned-but-never-recorded endpoints stay out of reports.
+	tm.Intern("silent")
+	for _, ep := range tm.Endpoints() {
+		if ep == "silent" {
+			t.Error("never-recorded endpoint leaked into Endpoints()")
+		}
+	}
+}

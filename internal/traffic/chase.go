@@ -80,8 +80,17 @@ func RunPointerChase(net *core.Network, cfg ChaseConfig) (*telemetry.Histogram, 
 		}
 	}
 
+	// Two closures for the whole chase (the loads are fully serialized, so
+	// one continuation pair suffices) rather than one per load.
 	done := 0
 	var step func()
+	record := func(t *txn.Transaction) {
+		h.Record(t.Latency())
+		done++
+		if done < cfg.Count {
+			step()
+		}
+	}
 	step = func() {
 		a := core.Access{Src: cfg.Src, Op: txn.Read, Kind: kind}
 		target := set[done%len(set)]
@@ -90,13 +99,7 @@ func RunPointerChase(net *core.Network, cfg ChaseConfig) (*telemetry.Histogram, 
 		} else {
 			a.UMC = target
 		}
-		net.Issue(a, nil, func(t *txn.Transaction) {
-			h.Record(t.Latency())
-			done++
-			if done < cfg.Count {
-				step()
-			}
-		})
+		net.Issue(a, nil, record)
 	}
 	step()
 	eng.Run()

@@ -89,6 +89,13 @@ type Flow struct {
 	stopped   bool
 	inFlight  int
 
+	// Pre-bound hot-path continuations and the reusable extra-pool slice:
+	// issuing a transaction must not allocate, so the per-issue closures
+	// are built once here (and per chain in loopChain).
+	extraSlice []*link.TokenPool
+	pacedFn    func()
+	completeFn func(*txn.Transaction)
+
 	hist   telemetry.Histogram
 	meter  telemetry.Meter
 	series *telemetry.TimeSeries
@@ -136,7 +143,10 @@ func NewFlow(net *core.Network, cfg FlowConfig) (*Flow, error) {
 	f := &Flow{net: net, cfg: cfg, demand: cfg.Demand}
 	if cfg.Window > 0 {
 		f.window = link.NewTokenPool(net.Engine(), cfg.Name+"/window", cfg.Window)
+		f.extraSlice = []*link.TokenPool{f.window}
 	}
+	f.pacedFn = f.pacedIssue
+	f.completeFn = f.complete
 	if len(cfg.UMCs) > 0 {
 		f.umcIv = memsys.NewInterleaver(cfg.UMCs)
 	}
@@ -211,7 +221,9 @@ func (f *Flow) Start() {
 	}
 	for _, c := range f.cfg.Cores {
 		for i := 0; i < f.cfg.LoopsPerCore; i++ {
-			f.issueLoop(c)
+			ch := &loopChain{f: f, src: c}
+			ch.done = ch.complete
+			ch.issue()
 		}
 	}
 }
@@ -232,13 +244,8 @@ func (f *Flow) access(src topology.CoreID) core.Access {
 }
 
 // extraPools reports the flow-level window to acquire before the hardware
-// pools.
-func (f *Flow) extraPools() []*link.TokenPool {
-	if f.window == nil {
-		return nil
-	}
-	return []*link.TokenPool{f.window}
-}
+// pools; nil when the flow is unwindowed.
+func (f *Flow) extraPools() []*link.TokenPool { return f.extraSlice }
 
 // complete records one finished transaction.
 func (f *Flow) complete(t *txn.Transaction) {
@@ -274,17 +281,27 @@ func (f *Flow) paceRate() units.Bandwidth {
 	return d
 }
 
-// issueLoop runs one closed-loop chain on src: each completion immediately
-// issues the next access.
-func (f *Flow) issueLoop(src topology.CoreID) {
-	if f.stopped {
+// loopChain is one closed-loop chain on a fixed source core: each
+// completion immediately issues the next access through a continuation
+// bound once at Start, so steady-state closed-loop traffic allocates
+// nothing per transaction.
+type loopChain struct {
+	f    *Flow
+	src  topology.CoreID
+	done func(*txn.Transaction)
+}
+
+func (c *loopChain) complete(t *txn.Transaction) {
+	c.f.complete(t)
+	c.issue()
+}
+
+func (c *loopChain) issue() {
+	if c.f.stopped {
 		return
 	}
-	f.inFlight++
-	f.net.Issue(f.access(src), f.extraPools(), func(t *txn.Transaction) {
-		f.complete(t)
-		f.issueLoop(src)
-	})
+	c.f.inFlight++
+	c.f.net.Issue(c.f.access(c.src), c.f.extraPools(), c.done)
 }
 
 // pendingLimit reports the stalled-pipeline bound: windowed flows track
@@ -301,7 +318,7 @@ func (f *Flow) pendingLimit() int {
 
 // scheduleNext arms the next paced issue after d.
 func (f *Flow) scheduleNext(d units.Time) {
-	f.net.Engine().After(d, f.pacedIssue)
+	f.net.Engine().After(d, f.pacedFn)
 }
 
 // pacedIssue issues one access (unless the pipeline is stalled) and
@@ -319,9 +336,7 @@ func (f *Flow) pacedIssue() {
 		src := f.cfg.Cores[f.nextCore]
 		f.nextCore = (f.nextCore + 1) % len(f.cfg.Cores)
 		f.inFlight++
-		f.net.Issue(f.access(src), f.extraPools(), func(t *txn.Transaction) {
-			f.complete(t)
-		})
+		f.net.Issue(f.access(src), f.extraPools(), f.completeFn)
 	}
 	gap := units.Interval(units.CacheLine, f.paceRate())
 	if f.cfg.Jitter {

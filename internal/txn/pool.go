@@ -1,0 +1,32 @@
+package txn
+
+// Pool is a plain free-list of Transactions. It is intentionally not a
+// sync.Pool: each simulation engine is single-threaded, so an unlocked
+// slice costs nothing, never drops objects under GC pressure, and keeps
+// replay deterministic (reuse order is a pure function of the event
+// sequence).
+type Pool struct {
+	free []*Transaction
+}
+
+// Get returns a zeroed transaction, reusing a recycled one when available.
+func (p *Pool) Get() *Transaction {
+	if n := len(p.free); n > 0 {
+		t := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return t
+	}
+	return &Transaction{}
+}
+
+// Put recycles a completed transaction. Pinned transactions are left
+// untouched and stay out of the free list — that is the opt-out for
+// consumers that retain the pointer past their done callback.
+func (p *Pool) Put(t *Transaction) {
+	if t == nil || t.pinned {
+		return
+	}
+	*t = Transaction{}
+	p.free = append(p.free, t)
+}

@@ -1,0 +1,51 @@
+package txn
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestPoolReusesAndZeroes(t *testing.T) {
+	var p Pool
+	a := p.Get()
+	a.ID = 7
+	a.Size = units.CacheLine
+	a.Issued = 100
+	p.Put(a)
+	b := p.Get()
+	if b != a {
+		t.Fatal("Get should pop the recycled transaction")
+	}
+	if b.ID != 0 || b.Size != 0 || b.Issued != 0 {
+		t.Errorf("recycled transaction not zeroed: %+v", b)
+	}
+	if c := p.Get(); c == a {
+		t.Error("free list returned the same object twice")
+	}
+}
+
+func TestPoolSkipsPinned(t *testing.T) {
+	var p Pool
+	a := p.Get()
+	a.ID = 9
+	a.Pin()
+	if !a.Pinned() {
+		t.Fatal("Pin did not stick")
+	}
+	p.Put(a)
+	if b := p.Get(); b == a {
+		t.Error("pinned transaction was recycled")
+	}
+	if a.ID != 9 {
+		t.Error("pinned transaction was zeroed")
+	}
+}
+
+func TestPoolPutNil(t *testing.T) {
+	var p Pool
+	p.Put(nil) // must not panic
+	if got := p.Get(); got == nil {
+		t.Fatal("Get returned nil")
+	}
+}

@@ -123,6 +123,10 @@ func (f Flow) Reverse() Flow { return Flow{Src: f.Dst, Dst: f.Src} }
 func (f Flow) String() string { return f.Src.String() + " -> " + f.Dst.String() }
 
 // Transaction is one in-flight operation at the transaction layer.
+//
+// Completed transactions handed to a done callback are recycled through a
+// Pool once the callback returns: a consumer that wants to keep the
+// transaction past its callback must either copy the struct or call Pin.
 type Transaction struct {
 	ID        uint64
 	Op        Op
@@ -130,7 +134,16 @@ type Transaction struct {
 	Size      units.ByteSize
 	Issued    units.Time
 	Completed units.Time
+
+	pinned bool
 }
+
+// Pin excludes the transaction from free-list recycling, so a consumer
+// that retains the pointer past its done callback keeps a stable value.
+func (t *Transaction) Pin() { t.pinned = true }
+
+// Pinned reports whether Pin was called.
+func (t *Transaction) Pinned() bool { return t.pinned }
 
 // Latency reports the completion latency; zero until completed.
 func (t *Transaction) Latency() units.Time {
