@@ -17,12 +17,30 @@ go build ./...
 go test ./...
 # internal/core rides along for the use-after-recycle guard
 # (TestPinnedRetentionRaceFree).
-go test -race ./internal/harness/ ./internal/sim/ ./internal/core/
+# internal/metrics rides along: its registry is engine-local and must
+# stay safe under the parallel experiment orchestrator.
+go test -race ./internal/harness/ ./internal/sim/ ./internal/core/ ./internal/metrics/
 
 # Observability overhead guards: an attached-but-disabled tracer must stay
 # within ~5% of a nil tracer on the channel hot path, and the tracer hooks
 # must never allocate — even when enabled.
 go test ./internal/trace/ -run 'TestDisabledTracerOverhead|TestHotPathAllocs' -v
+
+# Windowed-metrics overhead guards: a harvesting registry must stay within
+# ~5% of an uninstrumented run on the event hot path (the probes are
+# pulled once per window, never per event), and an attached-but-unstarted
+# registry must leave the simulation byte-identical.
+go test ./internal/metrics/ -run 'TestEnabledMetricsOverhead|TestUnstartedRegistryInvisible|TestHarvestAllocs' -v
+
+# The harvest tick over the full-network instrument table must not
+# allocate: rings are sized at Start, rescheduling reuses the pre-bound
+# callback.
+bench=$(go test ./internal/metrics/ -run '^$' -bench 'BenchmarkMetricsHarvest' -benchtime 1000x)
+echo "$bench"
+if echo "$bench" | grep 'BenchmarkMetricsHarvest' | grep -qv ' 0 allocs/op'; then
+    echo "metrics harvest allocates on the steady-state path" >&2
+    exit 1
+fi
 
 # Engine benchmarks must stay allocation-free with the tracer in the tree.
 bench=$(go test ./internal/sim/ -run '^$' -bench 'BenchmarkEngine' -benchtime 10000x)

@@ -5,6 +5,8 @@
 //
 //	reproduce [-experiment all|table1|table2|table3|fig3|fig4|fig5|fig6] [-scale N] [-seed N] [-workers N]
 //	reproduce -trace out.json [-trace-scenario N] [-trace-case N] [-trace-spans N] [-scale N] [-seed N]
+//	reproduce -stats out.json [-stats-experiment fig4|fig5] [-stats-scenario N] [-stats-case N]
+//	          [-stats-window D] [-stats-format json|openmetrics|csv] [-stats-top N]
 //
 // -scale divides the steady-state measurement windows (1 = full length, as
 // recorded in EXPERIMENTS.md; larger is faster but noisier). -workers sets
@@ -16,6 +18,12 @@
 // trace_event JSON (open at https://ui.perfetto.dev), and prints the
 // latency-breakdown and per-hop counter reports. Inspect the file later
 // with cmd/chiplettrace.
+//
+// -stats runs one cell with the windowed-metrics registry harvesting
+// over the measurement window, streams a top-like per-window bottleneck
+// view while the simulation runs, prints the ranked bottleneck report,
+// and writes the full per-window series to the file in the chosen
+// format. Inspect a JSON dump later with cmd/chipletstat.
 package main
 
 import (
@@ -23,9 +31,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/internal/harness"
+	"repro/internal/metrics"
 	"repro/internal/topology"
+	"repro/internal/units"
 )
 
 func main() {
@@ -39,12 +50,27 @@ func main() {
 	traceScenario := flag.Int("trace-scenario", 1, "Figure 4 scenario index to trace (see fig4 output order)")
 	traceCase := flag.Int("trace-case", 2, "Figure 4 demand case index to trace (default: equal over-subscribing demands)")
 	traceSpans := flag.Int("trace-spans", 1<<20, "span ring capacity for -trace (oldest spans overwritten beyond this)")
+	statsFile := flag.String("stats", "", "write windowed metrics of one cell to this file (format per -stats-format)")
+	statsExp := flag.String("stats-experiment", "fig4", "cell to instrument with -stats: fig4 (steady state) or fig5 (fluctuating demand)")
+	statsScenario := flag.Int("stats-scenario", 1, "scenario index for -stats (fig4 default: 9634 UMC/GMI)")
+	statsCase := flag.Int("stats-case", 2, "Figure 4 demand case index for -stats (default: equal over-subscribing demands)")
+	statsWindow := flag.Duration("stats-window", 100*time.Microsecond, "harvest window in simulated time (100us = the paper's 100 ms at 1:1000)")
+	statsFormat := flag.String("stats-format", "json", "-stats export format: json, openmetrics or csv")
+	statsTop := flag.Int("stats-top", 5, "rows in the live per-window bottleneck view (0 disables live output)")
 	flag.Parse()
 
 	opt := harness.Options{Seed: *seed, TimeScale: *scale, Workers: *workers}
 	if *traceFile != "" {
 		if err := runTrace(opt, *traceScenario, *traceCase, *traceSpans, *traceFile); err != nil {
 			log.Fatalf("trace: %v", err)
+		}
+		return
+	}
+	if *statsFile != "" {
+		win := units.Nanos(float64(statsWindow.Nanoseconds()))
+		err := runStats(opt, *statsExp, *statsScenario, *statsCase, win, *statsFormat, *statsTop, *statsFile)
+		if err != nil {
+			log.Fatalf("stats: %v", err)
 		}
 		return
 	}
@@ -101,6 +127,63 @@ func runTrace(opt harness.Options, scenario, demandCase, spanCap int, path strin
 	fmt.Println(tr.CounterReport())
 	fmt.Printf("wrote %d spans to %s — open at https://ui.perfetto.dev or inspect with chiplettrace\n",
 		tr.SpanCount(), path)
+	return nil
+}
+
+// runStats runs one instrumented cell, streaming a top-like view per
+// harvest window, then prints the ranked bottleneck report and writes
+// the per-window series in the requested format.
+func runStats(opt harness.Options, experiment string, scenario, demandCase int, window units.Time, format string, top int, path string) error {
+	switch format {
+	case "json", "openmetrics", "csv":
+	default:
+		return fmt.Errorf("unknown format %q; choose json, openmetrics or csv", format)
+	}
+	reg := metrics.New(metrics.Config{Window: window})
+	if top > 0 {
+		reg.OnHarvest(func() {
+			fmt.Println(metrics.RenderWindow(reg, reg.Total()-1, top))
+		})
+	}
+	switch experiment {
+	case "fig4":
+		res, err := harness.Figure4StatsCell(opt, scenario, demandCase, reg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderFigure4([]harness.Fig4Result{res}))
+	case "fig5":
+		res, err := harness.Figure5StatsRun(opt, scenario, reg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderFigure5([]*harness.Fig5Result{res}))
+	default:
+		return fmt.Errorf("unknown experiment %q; choose fig4 or fig5", experiment)
+	}
+	fmt.Println(metrics.FamilySummary(reg))
+	fmt.Println(metrics.BottleneckReport(reg, 3))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "json":
+		err = reg.Dump().WriteJSON(f)
+	case "openmetrics":
+		err = metrics.WriteOpenMetrics(f, reg)
+	case "csv":
+		err = metrics.WriteCSV(f, reg)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d windows x %d instruments to %s (%s)\n",
+		reg.Total(), reg.NumInstruments(), path, format)
 	return nil
 }
 

@@ -1,0 +1,90 @@
+// Live windowed statistics: watching a bottleneck appear in real time.
+//
+// A victim flow reads DRAM channel 0 from chiplet 2 of the EPYC 9634 at a
+// comfortable rate. Two virtual "seconds" in (200 us simulated, 1:1000),
+// an aggressor on chiplet 3 starts hammering the same channel. A metrics
+// registry harvests every 100 us of simulated time — the paper's 100 ms
+// Infinity Fabric harvest interval — and an OnHarvest callback renders a
+// top-like view of each window as the simulation produces it, the way a
+// dashboard would.
+//
+// The onset window is unmistakable: umc0/rd jumps from light utilization
+// to 100% with its queue depth climbing every window, per-window queue
+// wait grows four orders of magnitude, and the aggressor cores' MSHR
+// pools surface as secondary congestion points — the §3.2 "CCX queue"
+// backpressure, localized per window without any tracing.
+//
+// The probes are pulled only at harvest ticks, so the instrumented run
+// executes the exact same event sequence as an uninstrumented one.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+	"repro/internal/txn"
+	"repro/internal/units"
+)
+
+// ccxCores picks n cores of one CCX.
+func ccxCores(ccd, ccx, n int) []topology.CoreID {
+	var out []topology.CoreID
+	for c := 0; c < n; c++ {
+		out = append(out, topology.CoreID{CCD: ccd, CCX: ccx, Core: c})
+	}
+	return out
+}
+
+func main() {
+	prof := topology.EPYC9634()
+	eng := sim.New(7)
+	net := core.New(eng, prof)
+
+	reg := metrics.New(metrics.Config{}) // default 100 us window
+	net.AttachMetrics(reg)
+
+	victim, err := traffic.NewFlow(net, traffic.FlowConfig{
+		Name: "victim", Cores: ccxCores(2, 0, 5),
+		Op: txn.Read, Kind: core.DestDRAM, UMCs: []int{0},
+		Demand: units.GBps(12), // open loop, no §3.5 manager: raw sharing
+
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	aggressor, err := traffic.NewFlow(net, traffic.FlowConfig{
+		Name: "aggressor", Cores: ccxCores(3, 0, 5),
+		Op: txn.Read, Kind: core.DestDRAM, UMCs: []int{0},
+		Demand: units.GBps(30),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	victim.Start()
+	var before units.Bandwidth
+	eng.At(200*units.Microsecond, func() {
+		before = victim.Achieved()
+		victim.ResetStats() // measure the victim from the onset only
+		aggressor.Start()
+	})
+
+	// Stream each window as it is harvested — this is what cmd/reproduce
+	// -stats does, and what a live dashboard would hook.
+	reg.OnHarvest(func() {
+		fmt.Println(metrics.RenderWindow(reg, reg.Total()-1, 3))
+	})
+	reg.Start(eng)
+	eng.RunUntil(600 * units.Microsecond)
+	reg.Stop()
+
+	fmt.Println(metrics.BottleneckReport(reg, 2))
+	fmt.Printf("victim (demand %v): %v alone, %v under contention — its bandwidth "+
+		"survives while the latency cost lands on the saturated UMC named per window above\n",
+		units.GBps(12), before, victim.Achieved())
+}

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/traffic"
@@ -128,19 +129,23 @@ func Figure4Scenarios() []Fig4Scenario {
 
 // figure4Cell runs one (scenario, demand case) cell on a private engine.
 func figure4Cell(sc Fig4Scenario, c Fig4Case, opt Options) (Fig4Result, error) {
-	return figure4CellTraced(sc, c, opt, nil)
+	return figure4CellObserved(sc, c, opt, nil, nil)
 }
 
-// figure4CellTraced is figure4Cell with an optional flight recorder: when
-// tr is non-nil it is attached before any traffic runs and enabled for
-// exactly the steady-state measurement window, so the recorded spans
-// describe the same interval the bandwidth numbers are measured over.
-// The results are identical either way — tracing observes, never steers.
-func figure4CellTraced(sc Fig4Scenario, c Fig4Case, opt Options, tr *trace.Tracer) (Fig4Result, error) {
+// figure4CellObserved is figure4Cell with optional observers: a flight
+// recorder and/or a windowed-metrics registry, attached before any
+// traffic runs and active for exactly the steady-state measurement
+// window, so spans and harvest windows describe the same interval the
+// bandwidth numbers are measured over. The results are identical with
+// any combination attached — observability observes, never steers.
+func figure4CellObserved(sc Fig4Scenario, c Fig4Case, opt Options, tr *trace.Tracer, reg *metrics.Registry) (Fig4Result, error) {
 	p := sc.Profile()
 	net := opt.newNet(p)
 	if tr != nil {
 		net.AttachTracer(tr)
+	}
+	if reg != nil {
+		net.AttachMetrics(reg)
 	}
 	cfgA, cfgB := sc.FlowA(p), sc.FlowB(p)
 	cfgA.Demand = units.Bandwidth(float64(sc.Capacity) * c.FracA)
@@ -163,7 +168,13 @@ func figure4CellTraced(sc Fig4Scenario, c Fig4Case, opt Options, tr *trace.Trace
 	if tr != nil {
 		tr.Enable()
 	}
+	if reg != nil {
+		reg.Start(net.Engine())
+	}
 	net.Engine().RunFor(opt.scale(600 * units.Microsecond))
+	if reg != nil {
+		reg.Stop()
+	}
 	if tr != nil {
 		tr.Disable()
 	}

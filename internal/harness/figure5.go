@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/telemetry"
 	"repro/internal/traffic"
 	"repro/internal/units"
@@ -65,9 +66,20 @@ func Figure5Scenarios() []Fig5Scenario {
 // by 2.0 GB/s". The controllers are warmed to their equal-share
 // equilibrium before the trace starts.
 func Figure5Run(sc Fig5Scenario, opt Options) (*Fig5Result, error) {
+	return figure5Run(sc, opt, nil)
+}
+
+// figure5Run is Figure5Run with an optional windowed-metrics registry:
+// when reg is non-nil it is attached before any traffic runs and
+// harvests over exactly the six-virtual-second trace (warmup excluded),
+// so the harvest windows line up with the Figure 5 bandwidth series.
+func figure5Run(sc Fig5Scenario, opt Options, reg *metrics.Registry) (*Fig5Result, error) {
 	p := sc.Fig4.Profile()
 	net := opt.newNet(p)
 	eng := net.Engine()
+	if reg != nil {
+		net.AttachMetrics(reg)
+	}
 	demand := units.Bandwidth(float64(sc.Fig4.Capacity) * sc.Demand)
 	throttled := sc.Fig4.Capacity/2 - sc.Throttle
 
@@ -86,6 +98,9 @@ func Figure5Run(sc Fig5Scenario, opt Options) (*Fig5Result, error) {
 	eng.RunFor(sc.Fig4.Converge) // reach the equal-share equilibrium
 
 	t0 := eng.Now()
+	if reg != nil {
+		reg.Start(eng)
+	}
 	interval := 25 * units.Microsecond
 	s0 := telemetry.NewTimeSeries(interval)
 	s1 := telemetry.NewTimeSeries(interval)
@@ -107,6 +122,9 @@ func Figure5Run(sc Fig5Scenario, opt Options) (*Fig5Result, error) {
 		eng.At(t0+s.at, func() { f0.SetDemand(s.bw) })
 	}
 	eng.RunUntil(t0 + 6*fig5VirtualSecond)
+	if reg != nil {
+		reg.Stop()
+	}
 
 	res := &Fig5Result{
 		Profile: p.Name, Link: sc.Fig4.Link, Interval: interval,

@@ -26,7 +26,7 @@ func Figure4TraceCell(opt Options, scenario, demandCase, spanCap int) (Fig4Resul
 		return Fig4Result{}, nil, fmt.Errorf("harness: demand case %d out of range [0,%d)", demandCase, len(cases))
 	}
 	tr := trace.New(trace.Config{SpanCap: spanCap})
-	res, err := figure4CellTraced(scs[scenario], cases[demandCase], opt, tr)
+	res, err := figure4CellObserved(scs[scenario], cases[demandCase], opt, tr, nil)
 	if err != nil {
 		return Fig4Result{}, nil, err
 	}

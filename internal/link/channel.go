@@ -177,6 +177,24 @@ func (c *Channel) Saturated(frac float64) bool {
 // Refused reports how many sends were refused by backpressure.
 func (c *Channel) Refused() uint64 { return c.refused }
 
+// BusyTime reports the cumulative serializer occupancy since the last
+// stats reset. The windowed metrics pipeline differences it per harvest
+// window: delta/window is the window's utilization.
+func (c *Channel) BusyTime() units.Time { return c.busy }
+
+// Bytes reports the cumulative accepted bytes since the last stats reset.
+func (c *Channel) Bytes() units.ByteSize { return c.meter.Bytes() }
+
+// Messages reports the cumulative accepted messages since the last stats
+// reset.
+func (c *Channel) Messages() uint64 { return c.meter.Ops() }
+
+// QueueWaitTotal reports the cumulative time messages spent waiting
+// behind the serializer backlog (the sum over all accepted messages of
+// accept-to-service time) since the last stats reset — the channel's
+// congestion-time signal for the windowed bottleneck attributor.
+func (c *Channel) QueueWaitTotal() units.Time { return c.queueLat.Sum() }
+
 // Stats is a snapshot of a channel's counters for telemetry export.
 type Stats struct {
 	Name         string

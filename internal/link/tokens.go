@@ -157,6 +157,15 @@ func (p *TokenPool) wake() {
 // figure.
 func (p *TokenPool) MaxWait() units.Time { return p.maxWait }
 
+// WaitTotal reports the cumulative token-wait time across all grants
+// since the last stats reset — the pool's congestion-time signal for the
+// windowed bottleneck attributor. Immediate grants contribute zero.
+func (p *TokenPool) WaitTotal() units.Time { return p.waitHist.Sum() }
+
+// Grants reports the number of tokens granted (immediate or queued)
+// since the last stats reset.
+func (p *TokenPool) Grants() uint64 { return p.waitHist.Count() }
+
 // MeanWait reports the average token wait across all acquisitions.
 func (p *TokenPool) MeanWait() units.Time { return p.waitHist.Mean() }
 

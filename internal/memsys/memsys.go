@@ -54,9 +54,10 @@ type DRAMChannel struct {
 	Read  *link.Channel // data return toward the cores
 	Write *link.Channel // data in from the cores
 
-	base       units.Time
-	jitter     *Jitter
-	serviceHop trace.HopID // DRAM array service stage (after AttachTracer)
+	base        units.Time
+	jitter      *Jitter
+	serviceBusy units.Time  // cumulative sampled array service time
+	serviceHop  trace.HopID // DRAM array service stage (after AttachTracer)
 }
 
 // AttachTracer attaches the flight recorder to both UMC directions and
@@ -85,7 +86,16 @@ func NewDRAMChannel(eng *sim.Engine, p *topology.Profile, index int) *DRAMChanne
 }
 
 // AccessTime samples the DRAM array access latency for one request.
-func (d *DRAMChannel) AccessTime() units.Time { return d.base + d.jitter.Sample() }
+func (d *DRAMChannel) AccessTime() units.Time {
+	t := d.base + d.jitter.Sample()
+	d.serviceBusy += t
+	return t
+}
+
+// ServiceBusy reports the cumulative sampled array service time — the
+// UMC's service-occupancy signal for the windowed metrics pipeline,
+// differenced per harvest window.
+func (d *DRAMChannel) ServiceBusy() units.Time { return d.serviceBusy }
 
 // CXLModule is one CXL.mem expansion device behind a P link. Its channels
 // carry 68 B flits per 64 B payload (§2.3), and its access time covers the
@@ -95,11 +105,12 @@ type CXLModule struct {
 	Read  *link.Channel // P link + CXL lanes toward the cores
 	Write *link.Channel
 
-	flit       units.ByteSize
-	base       units.Time
-	jitter     *Jitter
-	serviceHop trace.HopID // module-internal service stage (after AttachTracer)
-	plinkHop   trace.HopID // P-link propagation stage (after AttachTracer)
+	flit        units.ByteSize
+	base        units.Time
+	jitter      *Jitter
+	serviceBusy units.Time  // cumulative sampled module service time
+	serviceHop  trace.HopID // module-internal service stage (after AttachTracer)
+	plinkHop    trace.HopID // P-link propagation stage (after AttachTracer)
 }
 
 // AttachTracer attaches the flight recorder to both module directions and
@@ -149,7 +160,16 @@ func (m *CXLModule) FlitSize(payload units.ByteSize) units.ByteSize {
 }
 
 // AccessTime samples the module's internal access latency.
-func (m *CXLModule) AccessTime() units.Time { return m.base + m.jitter.Sample() }
+func (m *CXLModule) AccessTime() units.Time {
+	t := m.base + m.jitter.Sample()
+	m.serviceBusy += t
+	return t
+}
+
+// ServiceBusy reports the cumulative sampled module service time — the
+// CXL device's service-occupancy signal for the windowed metrics
+// pipeline.
+func (m *CXLModule) ServiceBusy() units.Time { return m.serviceBusy }
 
 // Interleaver spreads consecutive cacheline requests across a set of
 // memory channels, as the memory controller's address hash does for an

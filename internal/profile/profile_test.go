@@ -192,3 +192,86 @@ func TestProfilerOverflowFlowsStillCounted(t *testing.T) {
 		t.Errorf("report lists untracked flow:\n%s", rep)
 	}
 }
+
+// TestSketchBoundsAdversarialFlows drives the profiler's count-min
+// sketches with an adversarial flow population: a few heavy hitters
+// buried under two thousand one-shot mouse flows, far more distinct keys
+// than the tracked-key budget. The sketch contract under that collision
+// pressure:
+//
+//   - estimates NEVER under-count (hard guarantee of the min-of-rows
+//     estimator — checked for every flow);
+//   - over-counts stay within a small multiple of total/width (the
+//     classic error bound; the multiplier leaves ~(1/16)^depth failure
+//     probability, vanishing for the seeded-by-maphash rows);
+//   - the heavy hitters still dominate Top() despite the mice.
+func TestSketchBoundsAdversarialFlows(t *testing.T) {
+	const (
+		heavies   = 16
+		heavyOps  = 1000
+		mice      = 2000
+		width     = 2048 // the profiler's sketch width
+		sizeBytes = 64
+	)
+	p := New(32)
+	var id uint64
+	truthOps := map[int]uint64{}
+	// Heavy hitters first, so the tracked-key budget admits them.
+	for h := 0; h < heavies; h++ {
+		for i := 0; i < heavyOps; i++ {
+			p.Observe(mkTxn(id, txn.Read, h, 100*units.Nanosecond))
+			id++
+		}
+		truthOps[h] = heavyOps
+	}
+	// Mouse flows: one observation each, distinct destinations.
+	for m := 0; m < mice; m++ {
+		p.Observe(mkTxn(id, txn.Read, heavies+m, 100*units.Nanosecond))
+		id++
+		truthOps[heavies+m] = 1
+	}
+
+	total := uint64(heavies*heavyOps + mice)
+	if p.TotalOps() != total {
+		t.Fatalf("TotalOps = %d, want %d (meter is exact, not sketched)", p.TotalOps(), total)
+	}
+	// 16x the expected per-row collision mass total/width.
+	overBound := 16 * total / width
+
+	flowFor := func(umc int) txn.Flow {
+		return txn.Flow{Src: txn.CoreEP(topology.CoreID{}), Dst: txn.DRAMEP(umc)}
+	}
+	for umc, want := range truthOps {
+		ops := p.FlowOps(flowFor(umc))
+		if ops < want {
+			t.Fatalf("FlowOps(umc%d) = %d under-estimates true %d", umc, ops, want)
+		}
+		if ops > want+overBound {
+			t.Errorf("FlowOps(umc%d) = %d exceeds %d + bound %d", umc, ops, want, overBound)
+		}
+		bytes := p.FlowBytes(flowFor(umc))
+		if bytes < units.ByteSize(want*sizeBytes) {
+			t.Fatalf("FlowBytes(umc%d) = %v under-estimates true %d", umc, bytes, want*sizeBytes)
+		}
+		if bytes > units.ByteSize((want+overBound)*sizeBytes) {
+			t.Errorf("FlowBytes(umc%d) = %v exceeds truth + bound", umc, bytes)
+		}
+	}
+
+	// The heavy hitters must all surface in Top(heavies): a mouse can
+	// only displace one if its over-count reaches heavyOps, far past the
+	// error bound.
+	top := p.Top(heavies)
+	if len(top) != heavies {
+		t.Fatalf("Top returned %d flows, want %d", len(top), heavies)
+	}
+	for _, fs := range top {
+		if fs.Ops < heavyOps {
+			t.Errorf("Top entry %s has %d ops — a mouse displaced a heavy hitter", fs.Flow, fs.Ops)
+		}
+	}
+	// Mice past the tracked-key budget are counted, not listed.
+	if p.Overflow() == 0 {
+		t.Error("adversarial mice did not overflow the tracked-key budget")
+	}
+}

@@ -90,6 +90,12 @@ func (h *Histogram) Mean() units.Time {
 	return units.Time(math.Round(h.sum / float64(h.total)))
 }
 
+// Sum reports the exact total of all observations (unaffected by bucket
+// quantization — it is accumulated alongside the buckets). The windowed
+// metrics pipeline differences it per harvest window to get "wait time
+// accumulated this window".
+func (h *Histogram) Sum() units.Time { return units.Time(math.Round(h.sum)) }
+
 // Min reports the smallest observation, zero when empty.
 func (h *Histogram) Min() units.Time { return h.min }
 

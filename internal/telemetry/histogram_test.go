@@ -168,3 +168,87 @@ func TestBucketRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestHistogramQuantileEdges pins the quantile edge semantics: empty
+// histograms report zero everywhere, a single sample answers every
+// quantile, and values that are exact bucket boundaries round-trip with
+// no quantization error — including the rank arithmetic exactly at a
+// sample boundary (P50 of two samples is the lower one, by the
+// ceil-rank convention).
+func TestHistogramQuantileEdges(t *testing.T) {
+	type check struct {
+		p    float64
+		want units.Time
+	}
+	cases := []struct {
+		name   string
+		values []units.Time
+		checks []check
+	}{
+		{
+			name:   "empty",
+			values: nil,
+			checks: []check{{0, 0}, {50, 0}, {99.9, 0}, {100, 0}},
+		},
+		{
+			name:   "single sample below subBuckets is exact",
+			values: []units.Time{7},
+			checks: []check{{0, 7}, {50, 7}, {99.9, 7}, {100, 7}},
+		},
+		{
+			name:   "single sample on a bucket boundary is exact",
+			values: []units.Time{1 << 20},
+			checks: []check{{0, 1 << 20}, {50, 1 << 20}, {100, 1 << 20}},
+		},
+		{
+			name:   "two samples: P50 takes the lower by ceil-rank",
+			values: []units.Time{10, 20},
+			checks: []check{{0, 10}, {50, 10}, {51, 20}, {100, 20}},
+		},
+		{
+			name: "exact boundaries, rank exactly at sample edges",
+			// 32, 64, 128 are the first values of their octaves, so each
+			// occupies a bucket whose low bound is itself.
+			values: []units.Time{32, 64, 128},
+			checks: []check{
+				{30, 32},  // rank ceil(0.9) = 1
+				{34, 64},  // rank ceil(1.02) = 2
+				{66, 64},  // rank ceil(1.98) = 2
+				{67, 128}, // rank ceil(2.01) = 3
+				{100, 128},
+			},
+		},
+		{
+			name:   "out-of-range p clamps to min and max",
+			values: []units.Time{40, 50, 60},
+			checks: []check{{-10, 40}, {200, 60}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var h Histogram
+			for _, v := range tc.values {
+				h.Record(v)
+			}
+			for _, c := range tc.checks {
+				if got := h.Percentile(c.p); got != c.want {
+					t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+				}
+			}
+		})
+	}
+}
+
+// TestHistogramSum: the running sum is exact (not quantized) and
+// differenceable, which the windowed metrics pipeline relies on.
+func TestHistogramSum(t *testing.T) {
+	var h Histogram
+	if h.Sum() != 0 {
+		t.Fatalf("empty Sum = %v", h.Sum())
+	}
+	h.Record(123456789)
+	h.Record(987654321)
+	if h.Sum() != 123456789+987654321 {
+		t.Fatalf("Sum = %v, want exact %v", h.Sum(), units.Time(123456789+987654321))
+	}
+}

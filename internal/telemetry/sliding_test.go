@@ -90,3 +90,82 @@ func TestSlidingSketchPanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestSlidingSketchAlignedExpiry pins the boundary semantics of the
+// window ring at exactly-aligned timestamps: an add at t = k*interval
+// lands in window k (not k-1), and a window's contents expire exactly
+// when now reaches its start plus the covered span — not one add later.
+// Estimates may over-count on hash collisions, never under-count, so the
+// checks are [truth, truth+slack] ranges.
+func TestSlidingSketchAlignedExpiry(t *testing.T) {
+	const slack = 5
+	type step struct {
+		at    units.Time
+		key   string
+		add   uint64
+		wantK uint64 // expected Estimate("k") truth after this step
+	}
+	us := units.Microsecond
+	cases := []struct {
+		name  string
+		steps []step
+	}{
+		{
+			name: "boundary add lands in the new window",
+			steps: []step{
+				{0, "k", 10, 10},
+				// Exactly at the first interval boundary: must land in
+				// window [1us,2us), so it survives window 0's expiry.
+				{1 * us, "k", 20, 30},
+				// One tick before the span ends: window 0 still covered.
+				{4*us - 1, "pad", 0, 30},
+				// Exactly at span end: window 0 (and only window 0) expires.
+				{4 * us, "pad", 0, 20},
+				// Window 1 expires exactly at its own start + span.
+				{5 * us, "pad", 0, 0},
+			},
+		},
+		{
+			name: "unaligned first add snaps its window start down",
+			steps: []step{
+				// First add at 1.5us: its window is [1us,2us).
+				{1*us + 500*units.Nanosecond, "k", 7, 7},
+				// Still covered through 4.999...us.
+				{5*us - 1, "pad", 0, 7},
+				// Expires exactly at 1us + span.
+				{5 * us, "pad", 0, 0},
+			},
+		},
+		{
+			name: "adds on consecutive boundaries occupy distinct windows",
+			steps: []step{
+				{0, "k", 1, 1},
+				{1 * us, "k", 2, 3},
+				{2 * us, "k", 4, 7},
+				{3 * us, "k", 8, 15},
+				// t=4us: only the t=0 window has expired.
+				{4 * us, "k", 16, 30},
+				// t=5us: the t=1us window goes too.
+				{5 * us, "pad", 0, 28},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewSlidingSketch(256, 3, 4, us) // 4 us span
+			for i, st := range tc.steps {
+				s.Add(st.at, st.key, st.add)
+				got := s.Estimate("k")
+				if got < st.wantK || got > st.wantK+slack {
+					t.Errorf("step %d (t=%v): Estimate(k) = %d, want %d..%d",
+						i, st.at, got, st.wantK, st.wantK+slack)
+				}
+				if st.wantK == 0 && got != 0 {
+					// Expired windows are cleared, so zero is exact: a
+					// nonzero estimate means expiry is off by a window.
+					t.Errorf("step %d (t=%v): expired estimate = %d, want exactly 0", i, st.at, got)
+				}
+			}
+		})
+	}
+}
