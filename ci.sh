@@ -19,7 +19,15 @@ go test ./...
 # (TestPinnedRetentionRaceFree).
 # internal/metrics rides along: its registry is engine-local and must
 # stay safe under the parallel experiment orchestrator.
-go test -race ./internal/harness/ ./internal/sim/ ./internal/core/ ./internal/metrics/
+# internal/link rides along for the partitioned engine's cross-domain
+# delivery reroute (Channel.SetPost/SendPost feed the epoch mailboxes).
+# The harness package includes the -domains 4 guards: the epoch-barrier
+# mailbox hammer (TestDomainsCellRace, TestEpochMailboxRace); the
+# byte-identity determinism sweeps skip themselves under -race (their
+# assertions are race-agnostic) to keep this leg within budget. The
+# explicit -timeout covers single-core hosts, where the race-instrumented
+# harness suite can exceed go test's 600s default.
+go test -race -timeout 1800s ./internal/harness/ ./internal/sim/ ./internal/link/ ./internal/core/ ./internal/metrics/
 
 # Observability overhead guards: an attached-but-disabled tracer must stay
 # within ~5% of a nil tracer on the channel hot path, and the tracer hooks
@@ -47,6 +55,16 @@ bench=$(go test ./internal/sim/ -run '^$' -bench 'BenchmarkEngine' -benchtime 10
 echo "$bench"
 if echo "$bench" | grep 'BenchmarkEngine' | grep -qv ' 0 allocs/op'; then
     echo "engine benchmarks allocate on the steady-state path" >&2
+    exit 1
+fi
+
+# The conservative cluster's epoch barrier must not allocate either:
+# mailbox buffers and the active list are reused, and worker goroutines
+# persist across runs instead of respawning.
+bench=$(go test ./internal/sim/ -run '^$' -bench 'BenchmarkEpochBarrier' -benchtime 2000x)
+echo "$bench"
+if echo "$bench" | grep 'BenchmarkEpochBarrier' | grep -qv ' 0 allocs/op'; then
+    echo "epoch barrier allocates on the steady-state path" >&2
     exit 1
 fi
 

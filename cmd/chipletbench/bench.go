@@ -33,9 +33,60 @@ type benchReport struct {
 	// NetworkIssue is the steady-state per-transaction cost (ns/txn,
 	// allocs/txn) of the core issue path, keyed "kind/op/load" — the
 	// whole-pipeline counterpart of the engine micro-benchmarks.
-	NetworkIssue     map[string]benchMeasurement `json:"network_issue"`
-	ReproduceScale   int                         `json:"reproduce_scale"`
-	ReproduceSeconds float64                     `json:"reproduce_seconds"`
+	NetworkIssue map[string]benchMeasurement `json:"network_issue"`
+	// CellThroughput times one full Figure 4 cell on the partitioned
+	// engine at 1, 2 and 4 domain workers (see benchCellThroughput).
+	CellThroughput   []cellThroughput `json:"cell_throughput"`
+	ReproduceScale   int              `json:"reproduce_scale"`
+	ReproduceSeconds float64          `json:"reproduce_seconds"`
+}
+
+// cellThroughput is one cell-level throughput row: a full Figure 4 cell
+// timed end to end at a fixed domain-worker count.
+type cellThroughput struct {
+	Domains      int     `json:"domains"`
+	Seconds      float64 `json:"seconds"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Speedup      float64 `json:"speedup_vs_serial"`
+}
+
+// benchCellThroughput times one full Figure 4 cell — the 7302 inter-CC
+// IF scenario under equal over-subscribing demands, the cell with the
+// most concurrently-busy domains (two source chiplets, the target
+// chiplet and the I/O-die hub) — on the partitioned engine with 1, 2
+// and 4 domain workers. Events/sec divides the executed simulation
+// events by wall time; speedup is relative to the serial -domains 1 run
+// of the identical epoch schedule. All three rows compute byte-identical
+// results; only the wall time may differ. On a single-core host the
+// parallel rows cannot win (the lockstep epochs just take turns on one
+// P), so judge the speedup column against gomaxprocs.
+func benchCellThroughput() ([]cellThroughput, error) {
+	sc := harness.Figure4Scenarios()[3]
+	c := harness.Fig4Cases()[2]
+	var out []cellThroughput
+	var serial float64
+	for _, d := range []int{1, 2, 4} {
+		opt := harness.Options{Seed: 42, TimeScale: 1, Domains: d}
+		start := time.Now()
+		_, events, err := harness.Figure4CellThroughput(sc, c, opt)
+		if err != nil {
+			return nil, err
+		}
+		secs := time.Since(start).Seconds()
+		eps := float64(events) / secs
+		if d == 1 {
+			serial = eps
+		}
+		row := cellThroughput{
+			Domains: d, Seconds: secs, Events: events,
+			EventsPerSec: eps, Speedup: eps / serial,
+		}
+		out = append(out, row)
+		fmt.Printf("CellThroughput domains=%d  %.2fs  %d events  %.0f events/s  %.2fx\n",
+			d, secs, events, eps, row.Speedup)
+	}
+	return out, nil
 }
 
 // benchNetworkIssue measures every DestKind x Op transaction shape on the
@@ -132,6 +183,11 @@ func runBenchSuite(path string) error {
 
 	netIssue := benchNetworkIssue()
 
+	cells, err := benchCellThroughput()
+	if err != nil {
+		return err
+	}
+
 	const scale = 8
 	opt := harness.Options{Seed: 42, TimeScale: scale}
 	start := time.Now()
@@ -146,6 +202,7 @@ func runBenchSuite(path string) error {
 		EngineEventChurn: measure(churn),
 		EngineHeapFanout: measure(fanout),
 		NetworkIssue:     netIssue,
+		CellThroughput:   cells,
 		ReproduceScale:   scale,
 		ReproduceSeconds: elapsed.Seconds(),
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/link"
+	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/txn"
@@ -80,20 +81,22 @@ func (a Access) destEndpoint(p *topology.Profile) txn.Endpoint {
 // the traffic-matrix keys — is pooled or precomputed, so steady-state
 // issues allocate nothing.
 func (n *Network) Issue(a Access, extraTokens []*link.TokenPool, done func(*txn.Transaction)) {
-	n.nextID++
+	zi := n.zoneOf(a.Src.CCD)
+	z := n.zones[zi]
+	z.nextID++
 	var t *txn.Transaction
 	if n.recycle {
-		t = n.txns.Get()
+		t = z.txns.Get()
 	} else {
 		t = &txn.Transaction{}
 	}
-	t.ID = n.nextID
+	t.ID = z.idBase | z.nextID
 	t.Op = a.Op
 	t.Size = units.CacheLine
 	t.Flow = txn.Flow{Src: txn.CoreEP(a.Src), Dst: a.destEndpoint(n.prof)}
 
 	idx := n.coreIndex(a.Src)
-	w := n.getWalker()
+	w := n.getWalker(zi)
 	w.t = t
 	w.a = a
 	w.done = done
@@ -147,7 +150,7 @@ func (n *Network) DriveClosedLoop(a Access, chains, count int) {
 		issued++
 		n.Issue(a, nil, done)
 	}
-	n.eng.Run()
+	n.Engine().Run()
 }
 
 // retryQuantum reports the backoff quantum for a message blocked on a
@@ -169,9 +172,11 @@ func retryQuantum(capacity units.Bandwidth, size units.ByteSize) units.Time {
 }
 
 // retryBackoff jitters a retry quantum uniformly over [q/2, 3q/2] using
-// the engine's seeded stream, desynchronizing competing retriers.
-func (n *Network) retryBackoff(quantum units.Time) units.Time {
-	return quantum/2 + units.Time(n.eng.Rand().Int63n(int64(quantum)+1))
+// the given engine's seeded stream, desynchronizing competing retriers.
+// Retries draw from the domain they run in, keeping every RNG stream
+// domain-private.
+func retryBackoff(eng *sim.Engine, quantum units.Time) units.Time {
+	return quantum/2 + units.Time(eng.Rand().Int63n(int64(quantum)+1))
 }
 
 // SendWithRetry sends on a bounded channel, retrying after a jittered
@@ -205,7 +210,7 @@ func (n *Network) pushWithRetry(ch *link.Channel, size units.ByteSize, extra uni
 		if blocked < 0 {
 			blocked = n.eng.Now()
 		}
-		n.eng.After(n.retryBackoff(retryQuantum(ch.Capacity(), size)), attempt)
+		n.eng.After(retryBackoff(n.eng, retryQuantum(ch.Capacity(), size)), attempt)
 	}
 	attempt()
 }

@@ -21,6 +21,16 @@
 // paths, heterogeneous bandwidth domains, inconsistent BDP, and
 // sender-driven aggressive partitioning — all emerge from the same
 // mechanisms the hardware exhibits.
+//
+// A network runs in one of two modes:
+//
+//   - Classic (New): one engine owns every component — the default, and
+//     the mode every seeded experiment output was produced in.
+//   - Partitioned (NewPartitioned): the component graph is split into
+//     per-CCD domains plus a hub domain (NoC, UMCs, CXL modules) on a
+//     sim.Cluster, so one cell can use several cores. The partition is
+//     fixed by the topology; the worker count only sets how many domains
+//     run concurrently, so results are byte-identical for any -domains N.
 package core
 
 import (
@@ -34,12 +44,53 @@ import (
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/txn"
+	"repro/internal/units"
 )
+
+// zone is one partition domain's private resources. Everything here is
+// touched only from events executing on the zone's engine, which is what
+// keeps the partitioned hot path lock-free: walkers, transactions, RNG
+// draws and matrix updates never cross a domain except through the
+// cluster mailboxes. A classic network is a single zone wrapping its one
+// engine, so both modes run the same walker code.
+type zone struct {
+	eng *sim.Engine
+
+	// llcJitter perturbs cache-to-cache transfers: snoop collisions and
+	// coherence-directory variance give the IF latency distribution its
+	// tail (Fig 3-a reports a 490 ns P999 at a 144.5 ns average).
+	llcJitter *memsys.Jitter
+
+	// matrix is this zone's shard of the traffic matrix; every zone
+	// interns the same names in the same order, so the dense endpoint ids
+	// are interchangeable and Network.Matrix folds shards by id.
+	matrix *telemetry.TrafficMatrix
+
+	// Free lists for the per-transaction objects, and the id counter.
+	// idBase keys transaction ids by zone so they stay unique without a
+	// shared counter.
+	txns   txn.Pool
+	freeW  []*walker
+	nextID uint64
+	idBase uint64
+}
 
 // Network is one chiplet server SoC's intra-host network.
 type Network struct {
-	eng  *sim.Engine
+	eng  *sim.Engine // classic mode only; nil when partitioned
 	prof *topology.Profile
+
+	// Partitioned mode: the cluster, one zone per CCD plus the hub zone
+	// (index hubZi) owning the I/O die. xfer is the epoch-crossing
+	// retiming shift — the lookahead — moved from the modelled CCM stage
+	// onto cross-domain response legs so every crossing lands outside the
+	// conservative window while end-to-end path latency is unchanged.
+	// Classic mode: cl is nil, zones has one entry, hubZi and xfer are 0.
+	cl      *sim.Cluster
+	zones   []*zone
+	hubZi   int
+	xfer    units.Time
+	postHub []func(units.Time, func()) // hub -> per-CCD cross-domain posts
 
 	noc   *mesh.NoC
 	drams []*memsys.DRAMChannel
@@ -66,14 +117,6 @@ type Network struct {
 	cxlReads  []*link.TokenPool
 	cxlWrites []*link.TokenPool
 
-	// llcJitter perturbs cache-to-cache transfers: snoop collisions and
-	// coherence-directory variance give the IF latency distribution its
-	// tail (Fig 3-a reports a 490 ns P999 at a 144.5 ns average).
-	llcJitter *memsys.Jitter
-
-	matrix *telemetry.TrafficMatrix
-	nextID uint64
-
 	// Hot-path flyweights, built once at construction: the hardware token
 	// pool-set per (core, DestKind, Op-class) in acquisition order, and
 	// the interned traffic-matrix key per endpoint. Issue never formats a
@@ -84,11 +127,8 @@ type Network struct {
 	cxlKeys  []telemetry.EndpointID
 	llcKeys  []telemetry.EndpointID // per CCX: index ccd*CCXPerCCD+ccx
 
-	// Free lists for the per-transaction objects, plus the recycling
-	// switch the determinism guard flips off to prove pooling is
-	// invisible to results.
-	txns    txn.Pool
-	freeW   []*walker
+	// recycle is the free-list switch the determinism guard flips off to
+	// prove pooling is invisible to results.
 	recycle bool
 
 	// Flight recorder (nil unless AttachTracer wired one in) and the
@@ -100,66 +140,131 @@ type Network struct {
 	interHop trace.HopID   // inter-chiplet fabric slack through the I/O die
 }
 
-// New assembles a network for the profile. It panics if the profile fails
-// validation — a network built from a broken profile would silently
-// produce garbage measurements.
+// New assembles a classic single-engine network for the profile. It panics
+// if the profile fails validation — a network built from a broken profile
+// would silently produce garbage measurements.
 func New(eng *sim.Engine, prof *topology.Profile) *Network {
 	if err := prof.Validate(); err != nil {
 		panic(err.Error())
 	}
 	n := &Network{
-		eng:  eng,
-		prof: prof,
-		noc:  mesh.New(eng, prof),
-		llcJitter: memsys.NewJitter(eng.Rand(), prof.DRAMJitterMean,
-			prof.TailSpikeProb, prof.TailSpikeDelay),
-		matrix: telemetry.NewTrafficMatrix(),
+		eng:   eng,
+		prof:  prof,
+		zones: []*zone{{eng: eng}},
 	}
-	for u := 0; u < prof.UMCChannels; u++ {
-		n.drams = append(n.drams, memsys.NewDRAMChannel(eng, prof, u))
+	n.build()
+	return n
+}
+
+// NewPartitioned assembles a domain-partitioned network on a sim.Cluster:
+// one domain per CCD owning that chiplet's channels, token pools and
+// issuing state, plus a hub domain owning the I/O die (NoC, UMCs, CXL
+// modules). The lookahead is the GMI link latency — the minimum latency of
+// any inter-domain link, since every CCD<->hub crossing rides a GMI
+// bundle. workers bounds how many domains run concurrently; it does not
+// affect results (the partition, and therefore every RNG stream and event
+// order, is fixed by the topology). Call Close when done to release the
+// cluster's worker goroutines.
+func NewPartitioned(seed uint64, prof *topology.Profile, workers int) *Network {
+	if err := prof.Validate(); err != nil {
+		panic(err.Error())
 	}
-	for m := 0; m < prof.CXLModules; m++ {
-		n.cxls = append(n.cxls, memsys.NewCXLModule(eng, prof, m))
+	if prof.GMILinkLatency <= 0 {
+		panic("core: profile GMI latency is zero; no conservative lookahead")
 	}
-	for c := 0; c < prof.CCDs; c++ {
+	cl := sim.NewCluster(seed, prof.CCDs+1, prof.GMILinkLatency, workers)
+	n := &Network{
+		prof:  prof,
+		cl:    cl,
+		hubZi: prof.CCDs,
+		xfer:  prof.GMILinkLatency,
+	}
+	for zi := 0; zi <= prof.CCDs; zi++ {
+		n.zones = append(n.zones, &zone{
+			eng:    cl.Zone(zi),
+			idBase: uint64(zi) << 48,
+		})
+	}
+	n.build()
+	for ccd := 0; ccd < prof.CCDs; ccd++ {
+		// Requests cross CCD -> hub on the GMI out bundle, whose own
+		// latency equals the lookahead, so rerouting its deliveries
+		// through the mailbox never violates the epoch horizon.
+		n.gmiOut[ccd].SetPost(cl.Poster(ccd, n.hubZi))
+		n.postHub = append(n.postHub, cl.Poster(n.hubZi, ccd))
+	}
+	return n
+}
+
+// build assembles the components shared by both modes, placing each on its
+// owning zone's engine: chiplet-side channels and pools on the CCD zones,
+// the I/O die on the hub zone. In classic mode every zone lookup resolves
+// to the single engine, reproducing the original construction exactly.
+func (n *Network) build() {
+	p := n.prof
+	hub := n.zones[n.hubZi].eng
+	for _, z := range n.zones {
+		z.llcJitter = memsys.NewJitter(z.eng.Rand(), p.DRAMJitterMean,
+			p.TailSpikeProb, p.TailSpikeDelay)
+		z.matrix = telemetry.NewTrafficMatrix()
+	}
+	n.noc = mesh.New(hub, p)
+	for u := 0; u < p.UMCChannels; u++ {
+		n.drams = append(n.drams, memsys.NewDRAMChannel(hub, p, u))
+	}
+	for m := 0; m < p.CXLModules; m++ {
+		n.cxls = append(n.cxls, memsys.NewCXLModule(hub, p, m))
+	}
+	for c := 0; c < p.CCDs; c++ {
+		eng := n.zones[n.zoneOf(c)].eng
 		name := fmt.Sprintf("ccd%d", c)
 		n.gmiIn = append(n.gmiIn, link.NewChannel(eng, name+"/gmi/in",
-			prof.GMIReadCap, 0, 0))
+			p.GMIReadCap, 0, 0))
 		n.gmiOut = append(n.gmiOut, link.NewChannel(eng, name+"/gmi/out",
-			prof.GMIWriteCap, prof.GMILinkLatency, prof.GMIWriteQueue))
+			p.GMIWriteCap, p.GMILinkLatency, p.GMIWriteQueue))
 		n.intraIn = append(n.intraIn, link.NewChannel(eng, name+"/if/in",
-			prof.IntraCCReadCap, 0, 0))
+			p.IntraCCReadCap, 0, 0))
 		n.intraOut = append(n.intraOut, link.NewChannel(eng, name+"/if/out",
-			prof.IntraCCWriteCap, 0, prof.IntraCCWriteQueue))
-		if prof.CCDTokens > 0 {
+			p.IntraCCWriteCap, 0, p.IntraCCWriteQueue))
+		if p.CCDTokens > 0 {
 			n.ccdTokens = append(n.ccdTokens, link.NewTokenPool(eng,
-				name+"/tokens", prof.CCDTokens))
+				name+"/tokens", p.CCDTokens))
 		}
-		if prof.CXLModules > 0 {
+		if p.CXLModules > 0 {
 			n.devRead = append(n.devRead, link.NewTokenPool(eng,
-				name+"/devcrd/rd", prof.CCDDevReadCrd))
+				name+"/devcrd/rd", p.CCDDevReadCrd))
 			n.devWrite = append(n.devWrite, link.NewTokenPool(eng,
-				name+"/devcrd/wr", prof.CCDDevWriteCrd))
+				name+"/devcrd/wr", p.CCDDevWriteCrd))
 		}
 	}
-	for x := 0; x < prof.CCXs; x++ {
+	for x := 0; x < p.CCXs; x++ {
+		eng := n.zones[n.zoneOf(x/p.CCXPerCCD())].eng
 		n.ccxTokens = append(n.ccxTokens, link.NewTokenPool(eng,
-			fmt.Sprintf("ccx%d/tokens", x), prof.CCXTokens))
+			fmt.Sprintf("ccx%d/tokens", x), p.CCXTokens))
 	}
-	for c := 0; c < prof.Cores; c++ {
+	for c := 0; c < p.Cores; c++ {
+		eng := n.zones[n.zoneOf(c/p.CoresPerCCD())].eng
 		name := fmt.Sprintf("core%d", c)
-		n.readMSHRs = append(n.readMSHRs, link.NewTokenPool(eng, name+"/mshr", prof.CoreReadMSHRs))
-		n.writeWCBs = append(n.writeWCBs, link.NewTokenPool(eng, name+"/wcb", prof.CoreWriteWCBs))
-		n.llcWindow = append(n.llcWindow, link.NewTokenPool(eng, name+"/llcwin", prof.CoreLLCWindow))
-		if prof.CXLModules > 0 {
-			n.cxlReads = append(n.cxlReads, link.NewTokenPool(eng, name+"/cxlrd", prof.CoreCXLReads))
-			n.cxlWrites = append(n.cxlWrites, link.NewTokenPool(eng, name+"/cxlwr", prof.CoreCXLWrites))
+		n.readMSHRs = append(n.readMSHRs, link.NewTokenPool(eng, name+"/mshr", p.CoreReadMSHRs))
+		n.writeWCBs = append(n.writeWCBs, link.NewTokenPool(eng, name+"/wcb", p.CoreWriteWCBs))
+		n.llcWindow = append(n.llcWindow, link.NewTokenPool(eng, name+"/llcwin", p.CoreLLCWindow))
+		if p.CXLModules > 0 {
+			n.cxlReads = append(n.cxlReads, link.NewTokenPool(eng, name+"/cxlrd", p.CoreCXLReads))
+			n.cxlWrites = append(n.cxlWrites, link.NewTokenPool(eng, name+"/cxlwr", p.CoreCXLWrites))
 		}
 	}
 	n.recycle = true
 	n.buildPoolSets()
 	n.buildMatrixKeys()
-	return n
+}
+
+// zoneOf maps a CCD to its partition domain: the identity in partitioned
+// mode, domain 0 always in classic mode.
+func (n *Network) zoneOf(ccd int) int {
+	if n.cl == nil {
+		return 0
+	}
+	return ccd
 }
 
 // numPoolSets is the pool-set slots per core: four destination kinds times
@@ -210,6 +315,17 @@ func (n *Network) buildPoolSets() {
 	}
 }
 
+// intern assigns an endpoint name its dense id in every zone's matrix
+// shard. The shards intern identical names in identical order, so one id
+// indexes them all.
+func (n *Network) intern(name string) telemetry.EndpointID {
+	id := n.zones[0].matrix.Intern(name)
+	for _, z := range n.zones[1:] {
+		z.matrix.Intern(name)
+	}
+	return id
+}
+
 // buildMatrixKeys interns every endpoint name the network can record, so
 // the per-transaction matrix update is two integer map operations.
 func (n *Network) buildMatrixKeys() {
@@ -219,23 +335,23 @@ func (n *Network) buildMatrixKeys() {
 		for ccx := 0; ccx < p.CCXPerCCD(); ccx++ {
 			for c := 0; c < p.CoresPerCCX(); c++ {
 				id := topology.CoreID{CCD: ccd, CCX: ccx, Core: c}
-				n.srcKeys[n.coreIndex(id)] = n.matrix.Intern(txn.CoreEP(id).String())
+				n.srcKeys[n.coreIndex(id)] = n.intern(txn.CoreEP(id).String())
 			}
 		}
 	}
 	n.dramKeys = make([]telemetry.EndpointID, p.UMCChannels)
 	for u := 0; u < p.UMCChannels; u++ {
-		n.dramKeys[u] = n.matrix.Intern(txn.DRAMEP(u).String())
+		n.dramKeys[u] = n.intern(txn.DRAMEP(u).String())
 	}
 	n.cxlKeys = make([]telemetry.EndpointID, p.CXLModules)
 	for m := 0; m < p.CXLModules; m++ {
-		n.cxlKeys[m] = n.matrix.Intern(txn.CXLEP(m).String())
+		n.cxlKeys[m] = n.intern(txn.CXLEP(m).String())
 	}
 	n.llcKeys = make([]telemetry.EndpointID, p.CCXs)
 	for ccd := 0; ccd < p.CCDs; ccd++ {
 		for ccx := 0; ccx < p.CCXPerCCD(); ccx++ {
 			id := topology.CCXID{CCD: ccd, CCX: ccx}
-			n.llcKeys[ccd*p.CCXPerCCD()+ccx] = n.matrix.Intern(txn.LLCEP(id).String())
+			n.llcKeys[ccd*p.CCXPerCCD()+ccx] = n.intern(txn.LLCEP(id).String())
 		}
 	}
 }
@@ -266,14 +382,87 @@ func (n *Network) SetRecycling(on bool) { n.recycle = on }
 // Recycling reports whether free-list reuse is enabled.
 func (n *Network) Recycling() bool { return n.recycle }
 
-// Engine reports the simulation engine driving the network.
-func (n *Network) Engine() *sim.Engine { return n.eng }
+// Engine reports the simulation engine driving a classic network. A
+// partitioned network has no single engine: it panics there, forcing
+// callers onto EngineFor/ControlEngine/Runner, where the domain is
+// explicit.
+func (n *Network) Engine() *sim.Engine {
+	if n.eng == nil {
+		panic("core: partitioned network has no single engine; use EngineFor, ControlEngine or Runner")
+	}
+	return n.eng
+}
+
+// EngineFor reports the engine owning a CCD's domain: the chiplet-local
+// clock flow generators and per-chiplet subsystems must schedule on. In
+// classic mode it is the network's one engine.
+func (n *Network) EngineFor(ccd int) *sim.Engine {
+	return n.zones[n.zoneOf(ccd)].eng
+}
+
+// ControlEngine reports the engine for cross-domain observers (metrics
+// harvests, experiment schedules): the cluster's control engine, whose
+// events run at epoch barriers and may therefore read any domain's state.
+// In classic mode it is the network's one engine.
+func (n *Network) ControlEngine() *sim.Engine {
+	if n.cl != nil {
+		return n.cl.Control()
+	}
+	return n.eng
+}
+
+// Runner drives a simulation: the engine in classic mode, the cluster in
+// partitioned mode.
+type Runner interface {
+	Now() units.Time
+	RunFor(units.Time)
+	RunUntil(units.Time)
+}
+
+// Runner reports the object that advances this network's simulated time.
+func (n *Network) Runner() Runner {
+	if n.cl != nil {
+		return n.cl
+	}
+	return n.eng
+}
+
+// Cluster reports the partition cluster, nil for classic networks.
+func (n *Network) Cluster() *sim.Cluster { return n.cl }
+
+// Close releases the cluster's worker goroutines; a no-op for classic
+// networks. The network must not run again afterwards.
+func (n *Network) Close() {
+	if n.cl != nil {
+		n.cl.Shutdown()
+	}
+}
+
+// EventsExecuted reports the total simulation events run by the network's
+// engines — the work counter cell-throughput benchmarks divide by seconds.
+func (n *Network) EventsExecuted() uint64 {
+	if n.cl != nil {
+		return n.cl.Executed()
+	}
+	return n.eng.Executed()
+}
 
 // Profile reports the platform profile the network was built from.
 func (n *Network) Profile() *topology.Profile { return n.prof }
 
-// Matrix reports the network's source/destination traffic matrix.
-func (n *Network) Matrix() *telemetry.TrafficMatrix { return n.matrix }
+// Matrix reports the network's source/destination traffic matrix. A
+// partitioned network folds its per-domain shards into a fresh matrix, in
+// domain order — deterministic, since shard contents are.
+func (n *Network) Matrix() *telemetry.TrafficMatrix {
+	if n.cl == nil {
+		return n.zones[0].matrix
+	}
+	m := telemetry.NewTrafficMatrix()
+	for _, z := range n.zones {
+		m.Merge(z.matrix)
+	}
+	return m
+}
 
 // DRAM reports memory channel umc.
 func (n *Network) DRAM(umc int) *memsys.DRAMChannel { return n.drams[umc] }

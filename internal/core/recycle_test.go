@@ -162,7 +162,7 @@ func TestRetryBackoffJitterBounds(t *testing.T) {
 	lo, hi := q/2, q/2+q
 	var sawLow, sawHigh bool
 	for i := 0; i < 2000; i++ {
-		b := net.retryBackoff(q)
+		b := retryBackoff(net.Engine(), q)
 		if b < lo || b > hi {
 			t.Fatalf("backoff %v outside [%v, %v]", b, lo, hi)
 		}

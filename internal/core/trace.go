@@ -28,6 +28,13 @@ func (n *Network) AttachTracer(tr *trace.Tracer) {
 	if tr == nil {
 		panic("core: nil tracer")
 	}
+	if n.cl != nil {
+		// Exact span tiling assumes the single-engine event order; traced
+		// cells therefore always run classic (the harness forces it), and
+		// wiring a tracer into a partitioned network is a programming
+		// error, not a degraded mode.
+		panic("core: flight recorder requires a classic (single-engine) network")
+	}
 	n.tracer = tr
 	n.noc.AttachTracer(tr)
 	for c := 0; c < n.prof.CCDs; c++ {

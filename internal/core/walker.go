@@ -18,6 +18,12 @@ import (
 // runDRAM/runCXL/runLLCIntra/runLLCInter walkers unrolled: each case is one
 // event callback, in the same order, with the same tracer attributions and
 // the same random draws. Changing the sequence changes seeded replay.
+//
+// zi tracks which partition domain the walker currently executes in: every
+// engine access (Now, After, RNG, jitter, free lists) resolves through it,
+// and it advances when a step's continuation crosses a domain (a GMI or
+// NoC response delivery). In classic mode zi is always 0 and every lookup
+// resolves to the single engine, so both modes share this code unchanged.
 type walker struct {
 	n    *Network
 	t    *txn.Transaction
@@ -34,8 +40,10 @@ type walker struct {
 	id             uint64 // trace attribution: t.ID, or 0 for writebacks
 	wb             bool   // asynchronous dirty-writeback walker
 
-	phase int
-	state int
+	phase  int
+	state  int
+	zi     int // domain the walker currently executes in
+	pushZi int // domain the in-flight push's delivery lands in
 
 	// Path constants computed on entry (former walker locals).
 	shops    units.Time     // switch-hop delay run
@@ -60,26 +68,30 @@ const (
 	phasePath
 )
 
-// getWalker pops a recycled walker or builds a fresh one. The two method
-// closures are the only per-walker allocations, paid once per free-list
-// entry for the lifetime of the network.
-func (n *Network) getWalker() *walker {
+// getWalker pops a recycled walker from domain zi's free list or builds a
+// fresh one. The two method closures are the only per-walker allocations,
+// paid once per free-list entry for the lifetime of the network.
+func (n *Network) getWalker(zi int) *walker {
+	z := n.zones[zi]
 	if n.recycle {
-		if ln := len(n.freeW); ln > 0 {
-			w := n.freeW[ln-1]
-			n.freeW[ln-1] = nil
-			n.freeW = n.freeW[:ln-1]
+		if ln := len(z.freeW); ln > 0 {
+			w := z.freeW[ln-1]
+			z.freeW[ln-1] = nil
+			z.freeW = z.freeW[:ln-1]
+			w.zi = zi
 			return w
 		}
 	}
-	w := &walker{n: n}
+	w := &walker{n: n, zi: zi}
 	w.stepFn = w.step
 	w.retryFn = w.attempt
 	return w
 }
 
-// putWalker recycles a finished walker, dropping object references so the
-// free list pins nothing.
+// putWalker recycles a finished walker onto the free list of the domain it
+// finished in (walkers migrate with their transactions; the frames are
+// domain-agnostic), dropping object references so the free list pins
+// nothing.
 func (n *Network) putWalker(w *walker) {
 	if !n.recycle {
 		return
@@ -89,7 +101,8 @@ func (n *Network) putWalker(w *walker) {
 	w.hw = nil
 	w.extra = nil
 	w.ch = nil
-	n.freeW = append(n.freeW, w)
+	z := n.zones[w.zi]
+	z.freeW = append(z.freeW, w)
 }
 
 // step is the walker's single continuation: every token grant, channel
@@ -109,7 +122,7 @@ func (w *walker) step() {
 		// curves include those stalls — that is what the Table 2 "Max
 		// CCX Q" rows are), but not time spent queued behind a software
 		// flow window.
-		w.t.Issued = w.n.eng.Now()
+		w.t.Issued = w.n.zones[w.zi].eng.Now()
 		w.n.trSet(w.id)
 		w.phase = phaseHW
 		w.acq = 0
@@ -148,69 +161,99 @@ func (w *walker) pathStep() {
 // enterPath runs once all tokens are held: it computes the walker's path
 // constants (sampling jitter exactly where the closure walkers did) and
 // performs the path's first action.
+//
+// In partitioned mode the paths that cross domains shift n.xfer (the
+// lookahead) out of the CCM stage here and back onto their cross-domain
+// response legs, so every mailbox delivery provably lands outside the
+// conservative epoch while the end-to-end path latency is bit-for-bit
+// what the classic single-engine model produces.
 func (w *walker) enterPath() {
 	n, p, a := w.n, w.n.prof, w.a
+	z := n.zones[w.zi]
 	w.phase = phasePath
 	w.state = 1
 	switch a.Kind {
 	case DestDRAM:
 		w.shops = n.noc.MemoryHopDelay(a.Src.CCD, a.UMC)
 		w.hopExtra = w.shops + p.CSLatency
-		n.eng.After(p.CacheMissBase, w.stepFn)
+		z.eng.After(p.CacheMissBase-n.xfer, w.stepFn)
 	case DestCXL:
 		w.shops = n.noc.IOHopDelay(a.Src.CCD)
 		w.hopExtra = w.shops + p.IOHubLatency + p.RootComplexLatency
-		n.eng.After(p.CacheMissBase, w.stepFn)
+		z.eng.After(p.CacheMissBase-n.xfer, w.stepFn)
 	case DestLLCIntra:
-		w.hopExtra = p.IntraCCLatency + n.llcJitter.Sample()
+		w.hopExtra = p.IntraCCLatency + z.llcJitter.Sample()
 		if a.Op == txn.NTWrite {
-			w.push(n.intraOut[a.Src.CCD], units.CacheLine, w.hopExtra)
+			w.pushTo(n.intraOut[a.Src.CCD], units.CacheLine, w.hopExtra, w.zi)
 		} else {
-			w.push(n.intraOut[a.Src.CCD], p.ReadRequestSize, w.hopExtra)
+			w.pushTo(n.intraOut[a.Src.CCD], p.ReadRequestSize, w.hopExtra, w.zi)
 		}
 	case DestLLCInter:
 		// The deterministic latency budget beyond the explicitly modelled
 		// legs (GMI crossings and the remote LLC lookup), plus coherence
-		// jitter.
-		extra := p.InterCCLatency - p.CacheMissBase - 2*p.GMILinkLatency - p.L3Latency
+		// jitter. The inter-CC path crosses domains twice beyond the DRAM
+		// path's one, so it gives up a second transfer shift here.
+		extra := p.InterCCLatency - p.CacheMissBase - 2*p.GMILinkLatency - p.L3Latency - n.xfer
 		if extra < 0 {
 			extra = 0
 		}
-		w.hopExtra = extra + n.llcJitter.Sample()
+		w.hopExtra = extra + z.llcJitter.Sample()
 		if a.Op == txn.NTWrite {
 			w.respSize = p.WriteAckSize
 		} else {
 			w.respSize = units.CacheLine
 		}
-		n.eng.After(p.CacheMissBase, w.stepFn)
+		z.eng.After(p.CacheMissBase-n.xfer, w.stepFn)
 	}
 }
 
-// push starts (re)trying to enter ch with the walker's step as the
+// pushTo starts (re)trying to enter ch with the walker's step as the
 // delivery continuation. Callers advance w.state first, so the delivery
-// lands in the next case.
-func (w *walker) push(ch *link.Channel, size units.ByteSize, extra units.Time) {
+// lands in the next case; toZi names the domain the delivery runs in (the
+// channel must be owned by the walker's current domain, deliveries may
+// cross).
+func (w *walker) pushTo(ch *link.Channel, size units.ByteSize, extra units.Time, toZi int) {
 	w.ch, w.size, w.pExtra = ch, size, extra
+	w.pushZi = toZi
 	w.blocked = -1
 	w.attempt()
 }
 
 // attempt is one admission try; refusals rearm it after a jittered service
 // quantum, exactly like pushWithRetry (see SendWithRetry for why the
-// cadence matters).
+// cadence matters). Retries run on the current domain's engine — the
+// channel's owner — and the walker migrates to the delivery domain once
+// the channel accepts.
 func (w *walker) attempt() {
 	n := w.n
+	z := n.zones[w.zi]
 	n.trSet(w.id)
 	if w.ch.TrySendAfter(w.size, w.pExtra, w.stepFn) {
 		if w.blocked >= 0 {
-			n.trRange(w.ch.Hop(), trace.CauseBackpressured, w.blocked, n.eng.Now())
+			n.trRange(w.ch.Hop(), trace.CauseBackpressured, w.blocked, z.eng.Now())
 		}
+		w.zi = w.pushZi
 		return
 	}
 	if w.blocked < 0 {
-		w.blocked = n.eng.Now()
+		w.blocked = z.eng.Now()
 	}
-	n.eng.After(n.retryBackoff(retryQuantum(w.ch.Capacity(), w.size)), w.retryFn)
+	z.eng.After(retryBackoff(z.eng, retryQuantum(w.ch.Capacity(), w.size)), w.retryFn)
+}
+
+// respondNoC sends a response across the NoC read channel back toward the
+// source chiplet. In partitioned mode that delivery crosses hub -> source
+// domain: it rides the mailbox with the transfer shift added — the shift
+// the source's CCM stage gave up in enterPath — so it provably lands
+// outside the epoch and the end-to-end latency is unchanged.
+func (w *walker) respondNoC(size units.ByteSize) {
+	n := w.n
+	if zi := n.zoneOf(w.a.Src.CCD); zi != w.zi {
+		w.zi = zi
+		n.noc.Read.SendPost(size, n.xfer, w.stepFn, n.postHub[w.a.Src.CCD])
+		return
+	}
+	n.noc.Read.Send(size, w.stepFn)
 }
 
 // finish completes the transaction: stamp, trace, release every token in
@@ -218,10 +261,12 @@ func (w *walker) attempt() {
 // the transaction to done and recycle both objects. The walker is recycled
 // before done runs so a done callback that issues the next transaction
 // (closed loops) reuses this frame; the transaction is recycled after done
-// returns, unless the callback pinned it.
+// returns, unless the callback pinned it. Every path ends in the source
+// domain, so releases and the done callback are domain-local.
 func (w *walker) finish() {
 	n, t := w.n, w.t
-	t.Completed = n.eng.Now()
+	z := n.zones[w.zi]
+	t.Completed = z.eng.Now()
 	if n.tracer != nil {
 		n.tracer.EndTxn(t.ID, t.Issued, t.Completed)
 	}
@@ -231,14 +276,14 @@ func (w *walker) finish() {
 	for i := len(w.extra) - 1; i >= 0; i-- {
 		w.extra[i].Release()
 	}
-	n.matrix.RecordID(w.srcKey, w.dstKey, t.Size)
+	z.matrix.RecordID(w.srcKey, w.dstKey, t.Size)
 	done := w.done
 	n.putWalker(w)
 	if done != nil {
 		done(t)
 	}
 	if n.recycle {
-		n.txns.Put(t)
+		z.txns.Put(t)
 	}
 }
 
@@ -263,20 +308,20 @@ func (w *walker) stepDRAM() {
 		n.trBefore(n.ccmHop(ccd), trace.CauseProcessing, p.CacheMissBase)
 		w.state = 2
 		if nt {
-			w.push(n.gmiOut[ccd], units.CacheLine, 0)
+			w.pushTo(n.gmiOut[ccd], units.CacheLine, 0, n.hubZi)
 		} else {
 			// A temporal write is a read-for-ownership: the line is
 			// fetched like a read; the dirty writeback happens
 			// asynchronously later.
-			w.push(n.gmiOut[ccd], p.ReadRequestSize, 0)
+			w.pushTo(n.gmiOut[ccd], p.ReadRequestSize, 0, n.hubZi)
 		}
 	case 2:
 		n.trSet(w.id)
 		w.state = 3
 		if nt {
-			w.push(n.noc.Write, units.CacheLine, w.hopExtra)
+			w.pushTo(n.noc.Write, units.CacheLine, w.hopExtra, w.zi)
 		} else {
-			w.push(n.noc.Write, p.ReadRequestSize, w.hopExtra)
+			w.pushTo(n.noc.Write, p.ReadRequestSize, w.hopExtra, w.zi)
 		}
 	case 3:
 		n.trSet(w.id)
@@ -287,7 +332,7 @@ func (w *walker) stepDRAM() {
 		} else {
 			access := dram.AccessTime()
 			n.trAfter(dram.ServiceHop(), trace.CauseService, access)
-			n.eng.After(access, w.stepFn)
+			n.zones[w.zi].eng.After(access, w.stepFn)
 		}
 	case 4:
 		n.trSet(w.id)
@@ -295,7 +340,7 @@ func (w *walker) stepDRAM() {
 		if nt {
 			access := dram.AccessTime()
 			n.trAfter(dram.ServiceHop(), trace.CauseService, access)
-			n.eng.After(access, w.stepFn)
+			n.zones[w.zi].eng.After(access, w.stepFn)
 		} else {
 			dram.Read.Send(units.CacheLine, w.stepFn)
 		}
@@ -303,9 +348,9 @@ func (w *walker) stepDRAM() {
 		n.trSet(w.id)
 		w.state = 6
 		if nt {
-			n.noc.Read.Send(p.WriteAckSize, w.stepFn)
+			w.respondNoC(p.WriteAckSize)
 		} else {
-			n.noc.Read.Send(units.CacheLine, w.stepFn)
+			w.respondNoC(units.CacheLine)
 		}
 	case 6:
 		n.trSet(w.id)
@@ -317,7 +362,7 @@ func (w *walker) stepDRAM() {
 		}
 	case 7:
 		if a.Op == txn.Write {
-			n.startWriteback(a, w.hopExtra)
+			n.startWriteback(a, w.hopExtra, w.zi)
 		}
 		w.finish()
 	}
@@ -332,7 +377,7 @@ func (w *walker) stepWriteback() {
 	switch w.state {
 	case 1:
 		w.state = 2
-		w.push(n.noc.Write, units.CacheLine, w.hopExtra)
+		w.pushTo(n.noc.Write, units.CacheLine, w.hopExtra, w.zi)
 	case 2:
 		n.trSet(0)
 		n.drams[w.a.UMC].Write.Send(units.CacheLine, nil)
@@ -342,16 +387,16 @@ func (w *walker) stepWriteback() {
 
 // startWriteback launches a writeback walker for the dirty line a temporal
 // write leaves behind, reusing the parent's NoC hop-extra (same CCD -> UMC
-// route).
-func (n *Network) startWriteback(a Access, hopExtra units.Time) {
-	w := n.getWalker()
+// route). zi is the issuing domain (the source chiplet's).
+func (n *Network) startWriteback(a Access, hopExtra units.Time, zi int) {
+	w := n.getWalker(zi)
 	w.a = a
 	w.wb = true
 	w.id = 0
 	w.hopExtra = hopExtra
 	w.phase = phasePath
 	w.state = 1
-	w.push(n.gmiOut[a.Src.CCD], units.CacheLine, 0)
+	w.pushTo(n.gmiOut[a.Src.CCD], units.CacheLine, 0, n.hubZi)
 }
 
 // stepCXL walks a device transaction: CCM -> GMI -> switch hops -> I/O hub
@@ -368,26 +413,26 @@ func (w *walker) stepCXL() {
 		n.trBefore(n.ccmHop(ccd), trace.CauseProcessing, p.CacheMissBase)
 		w.state = 2
 		if nt {
-			w.push(n.gmiOut[ccd], units.CacheLine, 0)
+			w.pushTo(n.gmiOut[ccd], units.CacheLine, 0, n.hubZi)
 		} else {
-			w.push(n.gmiOut[ccd], p.ReadRequestSize, 0)
+			w.pushTo(n.gmiOut[ccd], p.ReadRequestSize, 0, n.hubZi)
 		}
 	case 2:
 		n.trSet(w.id)
 		w.state = 3
 		if nt {
-			w.push(n.noc.Write, units.CacheLine, w.hopExtra)
+			w.pushTo(n.noc.Write, units.CacheLine, w.hopExtra, w.zi)
 		} else {
-			w.push(n.noc.Write, p.ReadRequestSize, w.hopExtra)
+			w.pushTo(n.noc.Write, p.ReadRequestSize, w.hopExtra, w.zi)
 		}
 	case 3:
 		n.trSet(w.id)
 		n.trHubHops(w.shops, p.IOHubLatency, p.RootComplexLatency)
 		w.state = 4
 		if nt {
-			w.push(mod.Write, mod.FlitSize(units.CacheLine), p.PLinkLatency)
+			w.pushTo(mod.Write, mod.FlitSize(units.CacheLine), p.PLinkLatency, w.zi)
 		} else {
-			w.push(mod.Write, p.ReadRequestSize, p.PLinkLatency)
+			w.pushTo(mod.Write, p.ReadRequestSize, p.PLinkLatency, w.zi)
 		}
 	case 4:
 		n.trSet(w.id)
@@ -395,7 +440,7 @@ func (w *walker) stepCXL() {
 		access := mod.AccessTime()
 		n.trAfter(mod.ServiceHop(), trace.CauseService, access)
 		w.state = 5
-		n.eng.After(access, w.stepFn)
+		n.zones[w.zi].eng.After(access, w.stepFn)
 	case 5:
 		n.trSet(w.id)
 		w.state = 6
@@ -408,9 +453,9 @@ func (w *walker) stepCXL() {
 		n.trSet(w.id)
 		w.state = 7
 		if nt {
-			n.noc.Read.Send(p.WriteAckSize, w.stepFn)
+			w.respondNoC(p.WriteAckSize)
 		} else {
-			n.noc.Read.Send(units.CacheLine, w.stepFn)
+			w.respondNoC(units.CacheLine)
 		}
 	case 7:
 		n.trSet(w.id)
@@ -427,7 +472,8 @@ func (w *walker) stepCXL() {
 
 // stepLLCIntra walks a cache-to-cache transfer within one compute chiplet.
 // Its first push happens in enterPath (there is no CCM delay stage), so the
-// machine starts at the delivery.
+// machine starts at the delivery. The whole path stays in the source
+// domain.
 func (w *walker) stepLLCIntra() {
 	n, p, a := w.n, w.n.prof, w.a
 	ccd := a.Src.CCD
@@ -462,21 +508,34 @@ func (w *walker) stepLLCInter() {
 		n.trBefore(n.ccmHop(src), trace.CauseProcessing, p.CacheMissBase)
 		w.state = 2
 		if nt {
-			w.push(n.gmiOut[src], units.CacheLine, 0)
+			w.pushTo(n.gmiOut[src], units.CacheLine, 0, n.hubZi)
 		} else {
-			w.push(n.gmiOut[src], p.ReadRequestSize, 0)
+			w.pushTo(n.gmiOut[src], p.ReadRequestSize, 0, n.hubZi)
 		}
 	case 2:
 		n.trSet(w.id)
 		w.state = 3
 		if nt {
-			w.push(n.noc.Write, units.CacheLine, w.hopExtra)
+			w.pushTo(n.noc.Write, units.CacheLine, w.hopExtra, w.zi)
 		} else {
-			w.push(n.noc.Write, p.ReadRequestSize, w.hopExtra)
+			w.pushTo(n.noc.Write, p.ReadRequestSize, w.hopExtra, w.zi)
 		}
 	case 3:
 		n.trSet(w.id)
 		n.trBefore(n.interHop, trace.CausePropagating, w.hopExtra)
+		w.state = 30
+		if zi := n.zoneOf(dst); zi != w.zi {
+			// The request enters the target chiplet's domain: hand the
+			// walker across one transfer shift later, the shift enterPath
+			// withheld from the latency budget.
+			at := n.zones[w.zi].eng.Now() + n.xfer
+			w.zi = zi
+			n.postHub[dst](at, w.stepFn)
+		} else {
+			w.stepFn()
+		}
+	case 30:
+		n.trSet(w.id)
 		w.state = 4
 		if nt {
 			n.gmiIn[dst].Send(units.CacheLine, w.stepFn)
@@ -487,15 +546,17 @@ func (w *walker) stepLLCInter() {
 		n.trSet(w.id)
 		n.trAfter(n.llcHop(dst), trace.CauseProcessing, p.L3Latency)
 		w.state = 5
-		n.eng.After(p.L3Latency, w.stepFn)
+		n.zones[w.zi].eng.After(p.L3Latency, w.stepFn)
 	case 5:
 		n.trSet(w.id)
 		w.state = 6
 		n.gmiOut[dst].Send(w.respSize, w.stepFn)
+		// The response re-enters the hub: GMI-out deliveries cross there.
+		w.zi = n.hubZi
 	case 6:
 		n.trSet(w.id)
 		w.state = 7
-		n.noc.Read.Send(w.respSize, w.stepFn)
+		w.respondNoC(w.respSize)
 	case 7:
 		n.trSet(w.id)
 		w.state = 8

@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/units"
+)
+
+// domainsCell runs one Figure 4 cell at the given Domains setting with a
+// windowed-metrics registry attached, returning the rendered result row
+// and the registry's JSON dump — the two artefacts the determinism
+// contract says must not depend on the domain worker count.
+func domainsCell(t *testing.T, domains, scIdx, caseIdx int) (string, []byte) {
+	t.Helper()
+	opt := Options{Seed: 42, TimeScale: 4, Domains: domains}
+	reg := metrics.New(metrics.Config{Window: 100 * units.Microsecond})
+	sc := Figure4Scenarios()[scIdx]
+	res, err := figure4CellObserved(sc, Fig4Cases()[caseIdx], opt, nil, reg)
+	if err != nil {
+		t.Fatalf("domains=%d scenario=%d: %v", domains, scIdx, err)
+	}
+	var dump bytes.Buffer
+	if err := reg.Dump().WriteJSON(&dump); err != nil {
+		t.Fatalf("domains=%d scenario=%d: dump: %v", domains, scIdx, err)
+	}
+	return RenderFigure4([]Fig4Result{res}), dump.Bytes()
+}
+
+// TestDomainsInvisibleToFigure4 pins the tentpole's determinism
+// contract: a partitioned cell's rendered results and windowed-metrics
+// dumps are byte-identical whether its domains advance serially
+// (Domains=1) or on 2 or 4 worker goroutines. The partition is fixed by
+// the topology; Domains only picks the worker count, so any divergence
+// is an event-ordering or RNG-stream leak in the epoch machinery.
+func TestDomainsInvisibleToFigure4(t *testing.T) {
+	if raceEnabled {
+		t.Skip("byte-identity is race-agnostic; TestDomainsCellRace covers -race")
+	}
+	// Scenario 1 (9634 UMC/GMI) exercises the DRAM hub crossings;
+	// scenario 3 (7302 inter-CC IF) exercises the three-domain LLC
+	// forwarding path. Case 2 drives both flows at 0.9x capacity.
+	for _, scIdx := range []int{1, 3} {
+		wantRow, wantDump := domainsCell(t, 1, scIdx, 2)
+		for _, d := range []int{2, 4} {
+			row, dump := domainsCell(t, d, scIdx, 2)
+			if row != wantRow {
+				t.Errorf("scenario %d: result row differs between -domains 1 and %d:\n%s\nvs\n%s",
+					scIdx, d, wantRow, row)
+			}
+			if !bytes.Equal(dump, wantDump) {
+				t.Errorf("scenario %d: metrics dump differs between -domains 1 and %d (%d vs %d bytes)",
+					scIdx, d, len(wantDump), len(dump))
+			}
+		}
+	}
+}
+
+// TestDomainsTraceForcesClassic pins the traced-cell contract: a cell
+// with the flight recorder attached always runs the classic
+// single-engine build, so its spans — and therefore its trace file —
+// are byte-identical at any Domains setting.
+func TestDomainsTraceForcesClassic(t *testing.T) {
+	if raceEnabled {
+		t.Skip("byte-identity is race-agnostic; TestDomainsCellRace covers -race")
+	}
+	traceBytes := func(domains int) ([]byte, string) {
+		opt := Options{Seed: 42, TimeScale: 4, Domains: domains}
+		res, tr, err := Figure4TraceCell(opt, 1, 2, 1<<16)
+		if err != nil {
+			t.Fatalf("domains=%d: %v", domains, err)
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteTraceEvents(&buf); err != nil {
+			t.Fatalf("domains=%d: %v", domains, err)
+		}
+		return buf.Bytes(), RenderFigure4([]Fig4Result{res})
+	}
+	wantTrace, wantRow := traceBytes(0)
+	gotTrace, gotRow := traceBytes(4)
+	if gotRow != wantRow {
+		t.Errorf("traced cell result differs with -domains 4:\n%s\nvs\n%s", wantRow, gotRow)
+	}
+	if !bytes.Equal(gotTrace, wantTrace) {
+		t.Errorf("trace file differs with -domains 4 (%d vs %d bytes)", len(wantTrace), len(gotTrace))
+	}
+}
+
+// TestDomainsCellRace drives a full three-domain-crossing cell with four
+// domain workers; under `go test -race` (wired into ci.sh) it hammers
+// the epoch-barrier mailboxes and the worker park/release handshake
+// through the real workload, complementing the synthetic
+// TestEpochMailboxRace in internal/sim.
+func TestDomainsCellRace(t *testing.T) {
+	opt := Options{Seed: 42, TimeScale: 4, Domains: 4}
+	sc := Figure4Scenarios()[3]
+	res, err := figure4Cell(sc, Fig4Cases()[2], opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AchievedA <= 0 || res.AchievedB <= 0 {
+		t.Errorf("partitioned cell produced no throughput: %+v", res)
+	}
+}

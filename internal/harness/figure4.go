@@ -139,8 +139,19 @@ func figure4Cell(sc Fig4Scenario, c Fig4Case, opt Options) (Fig4Result, error) {
 // bandwidth numbers are measured over. The results are identical with
 // any combination attached — observability observes, never steers.
 func figure4CellObserved(sc Fig4Scenario, c Fig4Case, opt Options, tr *trace.Tracer, reg *metrics.Registry) (Fig4Result, error) {
+	res, _, err := figure4CellCounted(sc, c, opt, tr, reg)
+	return res, err
+}
+
+// figure4CellCounted additionally reports the number of simulation
+// events executed over the whole cell (warmup included) — the numerator
+// of the events/sec cell-throughput benchmark in cmd/chipletbench.
+func figure4CellCounted(sc Fig4Scenario, c Fig4Case, opt Options, tr *trace.Tracer, reg *metrics.Registry) (Fig4Result, uint64, error) {
 	p := sc.Profile()
-	net := opt.newNet(p)
+	// A traced cell pins the classic build: exact span tiling needs the
+	// single-engine event order (core.AttachTracer enforces this).
+	net := opt.newCellNet(p, tr != nil)
+	defer net.Close()
 	if tr != nil {
 		net.AttachTracer(tr)
 	}
@@ -152,26 +163,27 @@ func figure4CellObserved(sc Fig4Scenario, c Fig4Case, opt Options, tr *trace.Tra
 	cfgB.Demand = units.Bandwidth(float64(sc.Capacity) * c.FracB)
 	fa, err := traffic.NewFlow(net, cfgA)
 	if err != nil {
-		return Fig4Result{}, err
+		return Fig4Result{}, 0, err
 	}
 	fb, err := traffic.NewFlow(net, cfgB)
 	if err != nil {
-		return Fig4Result{}, err
+		return Fig4Result{}, 0, err
 	}
 	fa.Start()
 	fb.Start()
 	// Convergence time is set by the adaptation epochs, which model
 	// hardware time constants — it must not shrink with TimeScale.
-	net.Engine().RunFor(sc.Converge)
+	run := net.Runner()
+	run.RunFor(sc.Converge)
 	fa.ResetStats()
 	fb.ResetStats()
 	if tr != nil {
 		tr.Enable()
 	}
 	if reg != nil {
-		reg.Start(net.Engine())
+		reg.Start(net.ControlEngine())
 	}
-	net.Engine().RunFor(opt.scale(600 * units.Microsecond))
+	run.RunFor(opt.scale(600 * units.Microsecond))
 	if reg != nil {
 		reg.Stop()
 	}
@@ -183,7 +195,15 @@ func figure4CellObserved(sc Fig4Scenario, c Fig4Case, opt Options, tr *trace.Tra
 		DemandA: cfgA.Demand, DemandB: cfgB.Demand,
 		AchievedA: fa.Achieved(), AchievedB: fb.Achieved(),
 		Capacity: sc.Capacity,
-	}, nil
+	}, net.EventsExecuted(), nil
+}
+
+// Figure4CellThroughput runs one (scenario, case) cell at full length and
+// reports its result plus the events executed — the cell-level
+// throughput probe behind cmd/chipletbench's serial-vs-domains speedup
+// numbers.
+func Figure4CellThroughput(sc Fig4Scenario, c Fig4Case, opt Options) (Fig4Result, uint64, error) {
+	return figure4CellCounted(sc, c, opt, nil, nil)
 }
 
 // Figure4Run evaluates one scenario across the four demand cases.

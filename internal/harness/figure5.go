@@ -75,8 +75,9 @@ func Figure5Run(sc Fig5Scenario, opt Options) (*Fig5Result, error) {
 // so the harvest windows line up with the Figure 5 bandwidth series.
 func figure5Run(sc Fig5Scenario, opt Options, reg *metrics.Registry) (*Fig5Result, error) {
 	p := sc.Fig4.Profile()
-	net := opt.newNet(p)
-	eng := net.Engine()
+	net := opt.newCellNet(p, false)
+	defer net.Close()
+	run := net.Runner()
 	if reg != nil {
 		net.AttachMetrics(reg)
 	}
@@ -95,11 +96,11 @@ func figure5Run(sc Fig5Scenario, opt Options, reg *metrics.Registry) (*Fig5Resul
 	}
 	f0.Start()
 	f1.Start()
-	eng.RunFor(sc.Fig4.Converge) // reach the equal-share equilibrium
+	run.RunFor(sc.Fig4.Converge) // reach the equal-share equilibrium
 
-	t0 := eng.Now()
+	t0 := run.Now()
 	if reg != nil {
-		reg.Start(eng)
+		reg.Start(net.ControlEngine())
 	}
 	interval := 25 * units.Microsecond
 	s0 := telemetry.NewTimeSeries(interval)
@@ -117,11 +118,14 @@ func figure5Run(sc Fig5Scenario, opt Options, reg *metrics.Registry) (*Fig5Resul
 		{4 * fig5VirtualSecond, throttled},
 		{5 * fig5VirtualSecond, demand},
 	}
+	// Demand changes mutate flow 0's pacing state, so they run on flow
+	// 0's own engine — in a partitioned network that is the flow's home
+	// domain, keeping the mutation inside the domain that owns it.
 	for _, s := range schedule {
 		s := s
-		eng.At(t0+s.at, func() { f0.SetDemand(s.bw) })
+		f0.Engine().At(t0+s.at, func() { f0.SetDemand(s.bw) })
 	}
-	eng.RunUntil(t0 + 6*fig5VirtualSecond)
+	run.RunUntil(t0 + 6*fig5VirtualSecond)
 	if reg != nil {
 		reg.Stop()
 	}

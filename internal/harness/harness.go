@@ -34,6 +34,17 @@ type Options struct {
 	// network the harness builds. Results are byte-identical either way;
 	// the determinism guard test flips this to prove pooling is invisible.
 	DisableRecycle bool
+	// Domains selects the intra-cell parallel engine. 0 (the default)
+	// builds the classic single-engine network, preserving the seeded
+	// outputs committed before the partitioned engine existed. N >= 1
+	// builds a domain-partitioned network — the partition itself is fixed
+	// by the topology (one domain per CCD plus a hub domain), N only caps
+	// how many worker goroutines advance domains concurrently — so the
+	// results are byte-identical for every N >= 1 (Domains=1 runs the
+	// same epoch schedule serially). Cells that attach a flight recorder
+	// always run classic: exact span tiling needs the single-engine
+	// event order.
+	Domains int
 }
 
 // DefaultOptions runs experiments at full length with a fixed seed.
@@ -56,6 +67,21 @@ func (o Options) scale(d units.Time) units.Time {
 // newNet builds a fresh engine+network pair for a profile.
 func (o Options) newNet(p *topology.Profile) *core.Network {
 	n := core.New(sim.New(o.Seed), p)
+	if o.DisableRecycle {
+		n.SetRecycling(false)
+	}
+	return n
+}
+
+// newCellNet builds the network for one experiment cell, honouring the
+// Domains option. forceClassic pins the classic single-engine build
+// regardless of Domains — cells that attach a flight recorder need the
+// single-engine event order for exact span tiling.
+func (o Options) newCellNet(p *topology.Profile, forceClassic bool) *core.Network {
+	if o.Domains <= 0 || forceClassic {
+		return o.newNet(p)
+	}
+	n := core.NewPartitioned(o.Seed, p, o.domainWorkers())
 	if o.DisableRecycle {
 		n.SetRecycling(false)
 	}

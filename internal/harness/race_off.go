@@ -1,0 +1,9 @@
+//go:build !race
+
+package harness
+
+// raceEnabled reports whether the race detector is compiled in; tests
+// whose assertions are race-agnostic but expensive (the byte-identity
+// determinism sweeps) skip themselves under -race to keep the CI race
+// leg within its time budget.
+const raceEnabled = false

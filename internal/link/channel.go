@@ -47,6 +47,14 @@ type Channel struct {
 	tr  *trace.Tracer
 	hop trace.HopID
 
+	// post, when set, reroutes every delivery callback (never the depart
+	// bookkeeping, which stays on the owning engine): a channel whose
+	// receiving endpoint lives in another partition domain posts deliveries
+	// through the cluster mailbox instead of scheduling them locally. The
+	// channel latency must then be at least the cluster lookahead, so the
+	// delivery time is provably outside the current epoch.
+	post func(units.Time, func())
+
 	// departFn is the serialization-complete callback, bound once so the
 	// per-message hot path schedules it without allocating a closure.
 	departFn func()
@@ -82,6 +90,12 @@ func (c *Channel) SetTracer(tr *trace.Tracer) {
 // Hop reports the channel's id in the attached tracer's registry (zero
 // when no tracer is attached).
 func (c *Channel) Hop() trace.HopID { return c.hop }
+
+// SetPost reroutes all delivery callbacks through fn — the cross-domain
+// scheduling hook of a partitioned simulation. Serialization bookkeeping
+// (queue slots, the depart event) stays on the owning engine; only the
+// receiver-side deliver callbacks cross. nil restores local scheduling.
+func (c *Channel) SetPost(fn func(units.Time, func())) { c.post = fn }
 
 // Name reports the channel's telemetry name.
 func (c *Channel) Name() string { return c.name }
@@ -127,11 +141,25 @@ func (c *Channel) SendAfter(size units.ByteSize, extra units.Time, deliver func(
 	c.enqueue(size, extra, deliver)
 }
 
+// SendPost is SendAfter with a per-message delivery-scheduling hook,
+// overriding any channel-wide SetPost. A hub-side channel whose responses
+// fan out to many domains (the NoC read return) picks the destination
+// domain's mailbox per message; delivery time done+latency+extra must be
+// outside the current epoch, which holds whenever extra alone is at least
+// the cluster lookahead.
+func (c *Channel) SendPost(size units.ByteSize, extra units.Time, deliver func(), post func(units.Time, func())) {
+	c.enqueuePost(size, extra, deliver, post)
+}
+
 // enqueue accepts a message unconditionally: the queue-bound check, if
 // any, belongs to the caller. Sharing this path between TrySendAfter and
 // SendAfter means the bound is never bypassed by mutating c.depth, so a
 // panic or re-entrant send mid-enqueue cannot leave the bound corrupted.
 func (c *Channel) enqueue(size units.ByteSize, extra units.Time, deliver func()) {
+	c.enqueuePost(size, extra, deliver, c.post)
+}
+
+func (c *Channel) enqueuePost(size units.ByteSize, extra units.Time, deliver func(), post func(units.Time, func())) {
 	c.queued++
 	now := c.eng.Now()
 	start := now
@@ -152,7 +180,11 @@ func (c *Channel) enqueue(size units.ByteSize, extra units.Time, deliver func())
 	}
 	c.eng.At(done, c.departFn)
 	if deliver != nil {
-		c.eng.At(done+c.latency+extra, deliver)
+		if post != nil {
+			post(done+c.latency+extra, deliver)
+		} else {
+			c.eng.At(done+c.latency+extra, deliver)
+		}
 	}
 }
 

@@ -1,0 +1,433 @@
+// Conservative parallel discrete-event simulation: a Cluster runs several
+// Engines — one per partition domain, plus a control engine for
+// cross-domain observers — in lockstep epochs under conservative
+// time-window synchronization.
+//
+// The safe window is the cluster's lookahead L: the minimum latency of any
+// inter-domain link. Any event a domain executes at time t can affect
+// another domain no earlier than t+L, so all domains may process the
+// window [E, E+L) — E being the earliest pending event anywhere — without
+// seeing each other's effects. Cross-domain effects travel through
+// per-(src,dst) SPSC mailboxes: a domain posts (time, callback) entries
+// while it runs its window, and the coordinator drains every mailbox at
+// the epoch barrier, in a fixed (destination, source, FIFO) order, onto
+// the destination engine's calendar. Because the destination engine's
+// (timestamp, sequence) tie-break then orders them exactly as they were
+// inserted, the merged schedule — and therefore every RNG draw and every
+// result — is identical whether domains ran on one worker goroutine or
+// many. TestClusterDeterminism and the harness domain guards hold the
+// cluster to byte-identical replay across worker counts.
+//
+// The control engine never runs concurrently with the domains: its events
+// (metrics harvests, experiment schedules) fire between epochs, after the
+// barrier, so a control callback may safely read any domain's state.
+//
+// The epoch machinery is allocation-free in steady state: mailbox buffers
+// and the active-domain list are reused across epochs, and worker
+// goroutines are spawned once per RunUntil, not per epoch
+// (BenchmarkEpochBarrier gates this at 0 allocs/op in ci.sh).
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/units"
+)
+
+// noEvent is the cached next-event time of an idle domain.
+const noEvent = units.Time(math.MaxInt64)
+
+// spinYield is how many times a waiter polls an atomic before yielding the
+// processor. On a machine with a hardware thread per worker the barrier
+// resolves within the spin budget; with fewer, Gosched keeps the lockstep
+// live instead of deadlocking the single P.
+const spinYield = 256
+
+// crossEvent is one mailbox entry: a callback bound for another domain.
+type crossEvent struct {
+	at units.Time
+	fn func()
+}
+
+// mailbox is one (src, dst) pair's single-producer single-consumer buffer:
+// written only by the worker running the source domain during an epoch,
+// read only by the coordinator at the barrier.
+type mailbox struct {
+	buf []crossEvent
+}
+
+// Cluster is a set of lockstepped domain engines.
+type Cluster struct {
+	zones   []*Engine
+	ctl     *Engine
+	look    units.Time
+	workers int
+
+	boxes   [][]mailbox  // [dst][src]
+	next    []units.Time // cached earliest pending event per domain
+	active  []int32      // domains with work in the current epoch
+	horizon units.Time   // current epoch bound; posts must land at or after it
+
+	// Epoch barrier state. The coordinator publishes (bound, active,
+	// claim=0, done=0) and releases workers by bumping phase; workers claim
+	// active domains from the shared counter, run them to bound-1, and —
+	// once the counter is exhausted — count themselves done. The epoch ends
+	// when every participant has retired. All cross-thread hand-offs ride
+	// the atomics.
+	phase atomic.Uint64
+	claim atomic.Int64
+	done  atomic.Int64
+	bound units.Time
+
+	// Worker goroutines are spawned once, on the first parallel run, and
+	// persist across runs: between runs they block on gate (no allocation,
+	// no CPU), and within a run they spin on phase. parking + parked
+	// implement the end-of-run handshake that returns them to the gate.
+	started bool
+	gate    chan struct{}
+	parking bool
+	parked  atomic.Int64
+	wg      sync.WaitGroup
+}
+
+// NewCluster builds a cluster of zones domain engines plus a control
+// engine, all seeded from one root stream so equal (seed, zones) pairs
+// replay identically regardless of workers or lookahead. lookahead must be
+// positive — a zero-latency inter-domain link admits no safe window.
+func NewCluster(seed uint64, zones int, lookahead units.Time, workers int) *Cluster {
+	if zones <= 0 {
+		panic("sim: cluster needs at least one domain")
+	}
+	if lookahead <= 0 {
+		panic("sim: non-positive cluster lookahead")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	root := NewRNG(seed)
+	cl := &Cluster{look: lookahead, workers: workers}
+	for i := 0; i < zones; i++ {
+		cl.zones = append(cl.zones, New(root.Uint64()))
+		cl.next = append(cl.next, noEvent)
+	}
+	cl.ctl = New(root.Uint64())
+	cl.boxes = make([][]mailbox, zones)
+	for d := range cl.boxes {
+		cl.boxes[d] = make([]mailbox, zones)
+	}
+	return cl
+}
+
+// Zones reports the number of domain engines.
+func (cl *Cluster) Zones() int { return len(cl.zones) }
+
+// Zone reports domain engine i. Schedule on it only while the cluster is
+// not running (setup) or from events executing on that same engine;
+// cross-domain scheduling during a run must go through a Poster.
+func (cl *Cluster) Zone(i int) *Engine { return cl.zones[i] }
+
+// Control reports the control engine. Its events run at epoch barriers,
+// never concurrently with any domain, so they may read cross-domain state
+// (the windowed-metrics harvest attaches here).
+func (cl *Cluster) Control() *Engine { return cl.ctl }
+
+// Lookahead reports the conservative synchronization window.
+func (cl *Cluster) Lookahead() units.Time { return cl.look }
+
+// Workers reports the configured worker-goroutine budget.
+func (cl *Cluster) Workers() int { return cl.workers }
+
+// Now reports the cluster clock. All engines park at exactly the RunUntil
+// bound, so between runs every domain agrees with the control engine.
+func (cl *Cluster) Now() units.Time { return cl.ctl.Now() }
+
+// Executed reports the total events run across every domain and the
+// control engine — the numerator of the cell-level events/sec benchmark.
+func (cl *Cluster) Executed() uint64 {
+	var total uint64
+	for _, z := range cl.zones {
+		total += z.Executed()
+	}
+	return total + cl.ctl.Executed()
+}
+
+// Pending reports scheduled, not-yet-run events across all engines.
+func (cl *Cluster) Pending() int {
+	total := cl.ctl.Pending()
+	for _, z := range cl.zones {
+		total += z.Pending()
+	}
+	return total
+}
+
+// Poster returns the cross-domain scheduling hook for events originating
+// in domain src and destined for domain dst: a closure appending to the
+// (src, dst) mailbox. The hook must only be called from events executing
+// on domain src, with a target time no earlier than the current epoch
+// bound — conservative synchronization guarantees any causally-produced
+// time (t_send + link latency >= t_send + lookahead) satisfies that, and
+// the hook panics on violations rather than corrupting causality.
+func (cl *Cluster) Poster(src, dst int) func(units.Time, func()) {
+	if src == dst {
+		panic("sim: poster within one domain (schedule directly)")
+	}
+	box := &cl.boxes[dst][src]
+	return func(at units.Time, fn func()) {
+		if at < cl.horizon {
+			panic(fmt.Sprintf("sim: cross-domain post at %v inside the epoch horizon %v (lookahead violated)", at, cl.horizon))
+		}
+		box.buf = append(box.buf, crossEvent{at: at, fn: fn})
+	}
+}
+
+// RunFor runs the cluster for a span d of simulated time starting now.
+func (cl *Cluster) RunFor(d units.Time) { cl.RunUntil(cl.Now() + d) }
+
+// RunUntil processes every event scheduled at or before t on every
+// domain and the control engine, exchanging cross-domain events at
+// conservative epoch barriers, then parks every clock at exactly t.
+func (cl *Cluster) RunUntil(t units.Time) {
+	// Setup code schedules directly onto domain engines between runs, so
+	// the cached minima are refreshed on entry rather than trusted.
+	for i, z := range cl.zones {
+		cl.next[i] = nextOrMax(z)
+	}
+	if cl.workers > 1 && len(cl.zones) > 1 {
+		cl.runParallel(t)
+	} else {
+		cl.runSerial(t)
+	}
+	for _, z := range cl.zones {
+		z.RunUntil(t)
+	}
+	cl.ctl.RunUntil(t)
+	cl.horizon = t
+}
+
+// epochBound computes the next epoch's exclusive bound: events strictly
+// before it are safe to run. The bound is the lookahead window past the
+// earliest pending event, clamped so no control event and nothing after
+// the run limit is overtaken. ok is false when no work remains at or
+// before t.
+func (cl *Cluster) epochBound(t units.Time) (units.Time, bool) {
+	e := noEvent
+	for _, nx := range cl.next {
+		if nx < e {
+			e = nx
+		}
+	}
+	ctlAt, ctlOK := cl.ctl.NextAt()
+	if ctlOK && ctlAt < e {
+		e = ctlAt
+	}
+	if e > t {
+		return 0, false
+	}
+	b := e + cl.look
+	if ctlOK && ctlAt+1 < b {
+		b = ctlAt + 1
+	}
+	if t+1 < b {
+		b = t + 1
+	}
+	return b, true
+}
+
+// runSerial is the single-worker epoch loop: identical epochs, barriers
+// and drain order to the parallel path, minus the goroutines — which is
+// exactly why -domains 1 and -domains N produce byte-identical results.
+func (cl *Cluster) runSerial(t units.Time) {
+	for {
+		b, ok := cl.epochBound(t)
+		if !ok {
+			return
+		}
+		cl.horizon = b
+		for i, z := range cl.zones {
+			if cl.next[i] < b {
+				z.RunUntil(b - 1)
+				cl.next[i] = nextOrMax(z)
+			}
+		}
+		cl.drainAndControl(b)
+	}
+}
+
+// runParallel is the multi-worker epoch loop: persistent workers are
+// released from the gate for the run and per epoch by the phase word; the
+// coordinator participates in each epoch's work, then drains mailboxes
+// and runs control events alone.
+func (cl *Cluster) runParallel(t units.Time) {
+	w := cl.workers
+	if w > len(cl.zones) {
+		w = len(cl.zones)
+	}
+	if !cl.started {
+		cl.started = true
+		cl.gate = make(chan struct{})
+		for i := 0; i < w-1; i++ {
+			cl.wg.Add(1)
+			go func() {
+				defer cl.wg.Done()
+				cl.workerLoop()
+			}()
+		}
+	}
+	for i := 0; i < w-1; i++ {
+		cl.gate <- struct{}{}
+	}
+	for {
+		b, ok := cl.epochBound(t)
+		if !ok {
+			break
+		}
+		cl.horizon = b
+		cl.active = cl.active[:0]
+		for i := range cl.zones {
+			if cl.next[i] < b {
+				cl.active = append(cl.active, int32(i))
+			}
+		}
+		if len(cl.active) <= 1 {
+			// One busy domain: run it inline, no barrier traffic.
+			for _, zi := range cl.active {
+				z := cl.zones[zi]
+				z.RunUntil(b - 1)
+				cl.next[zi] = nextOrMax(z)
+			}
+		} else {
+			cl.bound = b
+			cl.claim.Store(0)
+			cl.done.Store(0)
+			cl.phase.Add(1) // publish the epoch; workers may now claim
+			cl.runShare()
+			// Wait for every participant (w-1 workers + this coordinator)
+			// to retire from the epoch, not merely for every domain to be
+			// claimed: a worker's last act in runShare is its done.Add, so
+			// once done reaches w no goroutine can still touch bound,
+			// claim or active, and the next epoch may overwrite them.
+			for spins := 0; cl.done.Load() != int64(w); spins++ {
+				if spins%spinYield == spinYield-1 {
+					runtime.Gosched()
+				}
+			}
+		}
+		cl.drainAndControl(b)
+	}
+	// Park the workers back at the gate: a phase bump with parking set is
+	// the end-of-run signal, and the parked counter confirms every worker
+	// has left the spin loop before the flag is cleared for the next run.
+	cl.parking = true
+	cl.parked.Store(0)
+	cl.phase.Add(1)
+	for spins := 0; cl.parked.Load() != int64(w-1); spins++ {
+		if spins%spinYield == spinYield-1 {
+			runtime.Gosched()
+		}
+	}
+	cl.parking = false
+}
+
+// workerLoop is one persistent worker goroutine: wait at the gate for a
+// run, then spin on the phase word — each bump is either an epoch release
+// (help drain the active list) or, with parking set, the end of the run
+// (acknowledge and return to the gate). A closed gate shuts the worker
+// down.
+func (cl *Cluster) workerLoop() {
+	last := uint64(0)
+	for {
+		if _, ok := <-cl.gate; !ok {
+			return
+		}
+		for spins := 0; ; spins++ {
+			p := cl.phase.Load()
+			if p == last {
+				if spins%spinYield == spinYield-1 {
+					runtime.Gosched()
+				}
+				continue
+			}
+			last = p
+			if cl.parking {
+				cl.parked.Add(1)
+				break
+			}
+			cl.runShare()
+		}
+	}
+}
+
+// Shutdown releases the worker goroutines. Call it only between runs; the
+// cluster must not run again afterwards. Idempotent, and a no-op for
+// clusters that never ran in parallel.
+func (cl *Cluster) Shutdown() {
+	if !cl.started {
+		return
+	}
+	cl.started = false
+	close(cl.gate)
+	cl.wg.Wait()
+}
+
+// runShare claims active domains from the epoch's shared counter and runs
+// each to the epoch bound. Every domain is claimed by exactly one worker,
+// so domain engines — and the mailboxes their events append to — stay
+// single-writer for the whole epoch. The done counter counts retired
+// participants, not completed domains: it is bumped exactly once, after
+// the claim counter is exhausted, so a done count of w proves no
+// goroutine can still read this epoch's bound or active list.
+func (cl *Cluster) runShare() {
+	b := cl.bound
+	n := int64(len(cl.active))
+	for {
+		i := cl.claim.Add(1) - 1
+		if i >= n {
+			cl.done.Add(1)
+			return
+		}
+		zi := cl.active[i]
+		z := cl.zones[zi]
+		z.RunUntil(b - 1)
+		cl.next[zi] = nextOrMax(z)
+	}
+}
+
+// drainAndControl is the epoch barrier's sequential tail: the coordinator
+// merges every mailbox onto its destination calendar in fixed
+// (destination, source, FIFO) order — the destination engine's sequence
+// numbers then encode that order, making the merge deterministic — and
+// runs control events up to the bound.
+func (cl *Cluster) drainAndControl(b units.Time) {
+	for dst := range cl.boxes {
+		row := cl.boxes[dst]
+		for src := range row {
+			box := &row[src]
+			if len(box.buf) == 0 {
+				continue
+			}
+			z := cl.zones[dst]
+			for i, ev := range box.buf {
+				z.At(ev.at, ev.fn)
+				if ev.at < cl.next[dst] {
+					cl.next[dst] = ev.at
+				}
+				box.buf[i] = crossEvent{}
+			}
+			box.buf = box.buf[:0]
+		}
+	}
+	cl.ctl.RunUntil(b - 1)
+}
+
+// nextOrMax reports an engine's earliest pending timestamp, or noEvent
+// when its calendar is empty.
+func nextOrMax(z *Engine) units.Time {
+	if at, ok := z.NextAt(); ok {
+		return at
+	}
+	return noEvent
+}

@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestNextAt(t *testing.T) {
+	e := New(1)
+	if _, ok := e.NextAt(); ok {
+		t.Fatal("NextAt on empty calendar reported an event")
+	}
+	e.At(500, func() {})
+	if at, ok := e.NextAt(); !ok || at != 500 {
+		t.Fatalf("NextAt = %v, %v; want 500, true", at, ok)
+	}
+	// Far-future event lands in the overflow heap; NextAt must see it
+	// without restructuring the calendar.
+	e2 := New(1)
+	e2.At(units.Time(wheelSpan)*3, func() {})
+	if at, ok := e2.NextAt(); !ok || at != units.Time(wheelSpan)*3 {
+		t.Fatalf("overflow NextAt = %v, %v; want %v, true", at, ok, units.Time(wheelSpan)*3)
+	}
+	// Earlier wheel event shadows the overflow minimum.
+	e2.At(100, func() {})
+	if at, ok := e2.NextAt(); !ok || at != 100 {
+		t.Fatalf("mixed NextAt = %v, %v; want 100, true", at, ok)
+	}
+	if got := e2.Pending(); got != 2 {
+		t.Fatalf("peeking disturbed the calendar: pending = %d, want 2", got)
+	}
+}
+
+func TestExecutedCounts(t *testing.T) {
+	e := New(7)
+	for i := 0; i < 10; i++ {
+		e.At(units.Time(i*100), func() {})
+	}
+	e.RunUntil(450)
+	if got := e.Executed(); got != 5 {
+		t.Fatalf("Executed after partial run = %d, want 5", got)
+	}
+	e.Run()
+	if got := e.Executed(); got != 10 {
+		t.Fatalf("Executed after full run = %d, want 10", got)
+	}
+}
+
+// clusterTrace runs a deterministic cross-domain ping-pong workload and
+// records every event execution as (domain, time, rng draw) lines. Equal
+// traces across worker counts prove that the epoch machinery is invisible
+// to the simulation: same event order, same per-domain clocks, same RNG
+// streams.
+func clusterTrace(t *testing.T, zones, workers, rounds int) []string {
+	t.Helper()
+	const look = units.Time(900)
+	cl := NewCluster(42, zones, look, workers)
+	defer cl.Shutdown()
+	var trace []string
+	post := make([][]func(units.Time, func()), zones)
+	for src := 0; src < zones; src++ {
+		post[src] = make([]func(units.Time, func()), zones)
+		for dst := 0; dst < zones; dst++ {
+			if src != dst {
+				post[src][dst] = cl.Poster(src, dst)
+			}
+		}
+	}
+	var hop func(src, dst, depth int) func()
+	hop = func(src, dst, depth int) func() {
+		return func() {
+			z := cl.Zone(dst)
+			trace = append(trace, fmt.Sprintf("z%d t=%d r=%d", dst, z.Now(), z.Rand().Intn(1000)))
+			if depth == 0 {
+				return
+			}
+			// Local work at an RNG-chosen offset, then bounce to the next
+			// domain after the link latency.
+			z.After(units.Time(z.Rand().Intn(300)), func() {
+				trace = append(trace, fmt.Sprintf("z%d t=%d local", dst, z.Now()))
+			})
+			next := (dst + 1) % zones
+			at := z.Now() + look + units.Time(z.Rand().Intn(200))
+			post[dst][next](at, hop(dst, next, depth-1))
+		}
+	}
+	for i := 0; i < zones; i++ {
+		cl.Zone(i).At(units.Time(i*37), hop(i, i, rounds))
+	}
+	// Control events interleave at epoch barriers; include them in the
+	// trace so their placement is checked too.
+	for k := 0; k < 5; k++ {
+		at := units.Time(k * 7000)
+		cl.Control().At(at, func() {
+			trace = append(trace, fmt.Sprintf("ctl t=%d", at))
+		})
+	}
+	end := units.Time(rounds)*2000 + 20000
+	cl.RunUntil(end)
+	if cl.Now() != end {
+		t.Fatalf("cluster parked at %v, want %v", cl.Now(), end)
+	}
+	for i := 0; i < zones; i++ {
+		if cl.Zone(i).Now() != end {
+			t.Fatalf("zone %d parked at %v, want %v", i, cl.Zone(i).Now(), end)
+		}
+	}
+	return trace
+}
+
+func TestClusterDeterminism(t *testing.T) {
+	base := clusterTrace(t, 4, 1, 40)
+	if len(base) == 0 {
+		t.Fatal("workload produced no events")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got := clusterTrace(t, 4, workers, 40)
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d: %d events, serial ran %d", workers, len(got), len(base))
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d: event %d = %q, serial = %q", workers, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+func TestClusterLookaheadViolationPanics(t *testing.T) {
+	cl := NewCluster(1, 2, 1000, 1)
+	p01 := cl.Poster(0, 1)
+	cl.Zone(0).At(0, func() {
+		// A post inside the epoch horizon would corrupt causality.
+		defer func() {
+			if recover() == nil {
+				t.Error("post inside the horizon did not panic")
+			}
+		}()
+		p01(cl.Zone(0).Now(), func() {})
+	})
+	cl.RunUntil(100)
+}
+
+// TestEpochMailboxRace hammers the epoch-barrier mailboxes from many
+// domains under -race: every domain posts to every other domain each
+// round, so each epoch exercises worker-side mailbox appends racing (or
+// provably not racing) against coordinator drains and barrier atomics.
+func TestEpochMailboxRace(t *testing.T) {
+	const (
+		zones  = 4
+		look   = units.Time(500)
+		rounds = 200
+	)
+	cl := NewCluster(99, zones, look, zones)
+	defer cl.Shutdown()
+	post := make([][]func(units.Time, func()), zones)
+	for src := 0; src < zones; src++ {
+		post[src] = make([]func(units.Time, func()), zones)
+		for dst := 0; dst < zones; dst++ {
+			if src != dst {
+				post[src][dst] = cl.Poster(src, dst)
+			}
+		}
+	}
+	received := make([]int, zones)
+	var burst func(src, depth int) func()
+	burst = func(src, depth int) func() {
+		return func() {
+			received[src]++
+			if depth == 0 {
+				return
+			}
+			z := cl.Zone(src)
+			for dst := 0; dst < zones; dst++ {
+				if dst == src {
+					continue
+				}
+				at := z.Now() + look + units.Time(z.Rand().Intn(100))
+				post[src][dst](at, burst(dst, depth-1))
+			}
+			z.After(units.Time(z.Rand().Intn(64)), func() { received[src]++ })
+		}
+	}
+	for i := 0; i < zones; i++ {
+		cl.Zone(i).At(0, burst(i, 2))
+	}
+	for r := 0; r < rounds; r++ {
+		cl.RunFor(look * 4)
+		// Reseed the storm so mailboxes stay busy every epoch.
+		for i := 0; i < zones; i++ {
+			cl.Zone(i).After(0, burst(i, 2))
+		}
+	}
+	total := 0
+	for _, n := range received {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("no events executed")
+	}
+}
+
+// BenchmarkEpochBarrier measures the steady-state cost of one epoch,
+// including a cross-domain exchange each way. ci.sh gates this at
+// 0 allocs/op: the epoch machinery must not allocate on the hot path.
+func BenchmarkEpochBarrier(b *testing.B) {
+	const look = units.Time(1000)
+	cl := NewCluster(7, 2, look, 2)
+	defer cl.Shutdown()
+	p01 := cl.Poster(0, 1)
+	p10 := cl.Poster(1, 0)
+	var ping, pong func()
+	ping = func() {
+		z := cl.Zone(0)
+		p01(z.Now()+look, pong)
+	}
+	pong = func() {
+		z := cl.Zone(1)
+		p10(z.Now()+look, ping)
+	}
+	cl.Zone(0).At(0, ping)
+	cl.RunUntil(look * 64) // warm up buffers, spare arrays, worker paths
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl.RunFor(look)
+	}
+}

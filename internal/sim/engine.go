@@ -44,10 +44,11 @@ const (
 // Engine is a discrete-event scheduler. The zero value is not usable; use
 // New.
 type Engine struct {
-	now     units.Time
-	seq     uint64
-	rng     *RNG
-	pending int
+	now      units.Time
+	seq      uint64
+	rng      *RNG
+	pending  int
+	executed uint64
 
 	// baseTick is the first slot tick covered by the current wheel window
 	// [baseTick, baseTick+wheelSlots). It only moves forward, and only
@@ -85,6 +86,24 @@ func (e *Engine) Rand() *RNG { return e.rng }
 // Pending reports the number of scheduled, not-yet-run events.
 func (e *Engine) Pending() int { return e.pending }
 
+// Executed reports the number of events run since construction — the
+// engine's work counter for throughput benchmarks (events/sec).
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// NextAt reports the timestamp of the earliest pending event. ok is false
+// when the calendar is empty. The calendar is not restructured: peeking at
+// an overflow-only calendar does not migrate events into the wheel.
+func (e *Engine) NextAt() (units.Time, bool) {
+	if e.wheelCount > 0 {
+		tick := e.scanOccupied()
+		return e.slots[tick&slotMask][0].at, true
+	}
+	if len(e.overflow) > 0 {
+		return e.overflow[0].at, true
+	}
+	return 0, false
+}
+
 // At schedules fn to run at absolute simulated time t. Scheduling in the
 // past is a programming error and panics: allowing it silently would
 // reorder causality.
@@ -121,6 +140,7 @@ func (e *Engine) Step() bool {
 	ev := e.slotPop(tick)
 	e.now = ev.at
 	e.pending--
+	e.executed++
 	ev.fn()
 	return true
 }
@@ -142,6 +162,7 @@ func (e *Engine) RunUntil(t units.Time) {
 		ev := e.slotPop(tick)
 		e.now = ev.at
 		e.pending--
+		e.executed++
 		ev.fn()
 	}
 	if t > e.now {

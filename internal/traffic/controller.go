@@ -90,7 +90,7 @@ func (c *controller) paceCap() units.Bandwidth {
 func (c *controller) addBytes(size units.ByteSize) { c.epochBytes += size }
 
 func (c *controller) start() {
-	c.flow.net.Engine().After(c.epoch, c.tick)
+	c.flow.eng.After(c.epoch, c.tick)
 }
 
 // observe folds one completion latency into the RTT estimators.
@@ -168,7 +168,7 @@ func (c *controller) tick() {
 	}
 	if c.osc {
 		// The 7302's intra-CC regulator over-corrects: random kicks.
-		w += f.net.Engine().Rand().Intn(9) - 4
+		w += f.eng.Rand().Intn(9) - 4
 	}
 	if w < 1 {
 		w = 1
@@ -180,7 +180,7 @@ func (c *controller) tick() {
 	if c.samples > 0 {
 		c.rttMin += (c.rttEWMA - c.rttMin) * 0.001
 	}
-	f.net.Engine().After(c.epoch, c.tick)
+	f.eng.After(c.epoch, c.tick)
 }
 
 // govern runs one epoch of the link-credit governor.
@@ -205,7 +205,7 @@ func (c *controller) govern() {
 	}
 	if c.osc {
 		// The over-correcting regulator also wobbles the grant.
-		kick := (c.flow.net.Engine().Rand().Float64() - 0.5) * 3e9
+		kick := (c.flow.eng.Rand().Float64() - 0.5) * 3e9
 		c.rateCap = math.Max(c.rateCap+kick, 1e9)
 	}
 }

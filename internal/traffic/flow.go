@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/link"
 	"repro/internal/memsys"
+	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/txn"
@@ -76,6 +77,12 @@ type FlowConfig struct {
 type Flow struct {
 	net *core.Network
 	cfg FlowConfig
+
+	// eng is the engine of the partition domain owning every source core
+	// (the network's single engine in classic mode). All of the flow's
+	// pacing events, RNG draws and controller epochs run on it, keeping
+	// the flow domain-local in a partitioned simulation.
+	eng *sim.Engine
 
 	window *link.TokenPool // nil when cfg.Window == 0
 	ctrl   *controller     // nil unless adaptive
@@ -140,9 +147,16 @@ func NewFlow(net *core.Network, cfg FlowConfig) (*Flow, error) {
 			cfg.MaxPending = 512
 		}
 	}
-	f := &Flow{net: net, cfg: cfg, demand: cfg.Demand}
+	eng := net.EngineFor(cfg.Cores[0].CCD)
+	for _, c := range cfg.Cores[1:] {
+		if net.EngineFor(c.CCD) != eng {
+			return nil, fmt.Errorf("traffic: flow %q spans partition domains (ccd%d and ccd%d); a flow's cores must share one domain",
+				cfg.Name, cfg.Cores[0].CCD, c.CCD)
+		}
+	}
+	f := &Flow{net: net, cfg: cfg, eng: eng, demand: cfg.Demand}
 	if cfg.Window > 0 {
-		f.window = link.NewTokenPool(net.Engine(), cfg.Name+"/window", cfg.Window)
+		f.window = link.NewTokenPool(eng, cfg.Name+"/window", cfg.Window)
 		f.extraSlice = []*link.TokenPool{f.window}
 	}
 	f.pacedFn = f.pacedIssue
@@ -199,19 +213,22 @@ func (f *Flow) SetRateLimit(bw units.Bandwidth) { f.rateLimit = bw }
 // RateLimit reports the imposed ceiling, zero when none.
 func (f *Flow) RateLimit() units.Bandwidth { return f.rateLimit }
 
+// Engine reports the engine of the flow's partition domain.
+func (f *Flow) Engine() *sim.Engine { return f.eng }
+
 // Achieved reports the average bandwidth since the meter was last reset.
-func (f *Flow) Achieved() units.Bandwidth { return f.meter.Rate(f.net.Engine().Now()) }
+func (f *Flow) Achieved() units.Bandwidth { return f.meter.Rate(f.eng.Now()) }
 
 // ResetStats clears the histogram and meter, e.g. after warmup.
 func (f *Flow) ResetStats() {
 	f.hist.Reset()
-	f.meter.Reset(f.net.Engine().Now())
+	f.meter.Reset(f.eng.Now())
 }
 
 // Start begins issuing. Open-loop (paced) flows schedule their first issue
 // immediately; closed-loop flows spawn LoopsPerCore chains per core.
 func (f *Flow) Start() {
-	f.meter.Open(f.net.Engine().Now())
+	f.meter.Open(f.eng.Now())
 	if f.ctrl != nil {
 		f.ctrl.start()
 	}
@@ -318,7 +335,7 @@ func (f *Flow) pendingLimit() int {
 
 // scheduleNext arms the next paced issue after d.
 func (f *Flow) scheduleNext(d units.Time) {
-	f.net.Engine().After(d, f.pacedFn)
+	f.eng.After(d, f.pacedFn)
 }
 
 // pacedIssue issues one access (unless the pipeline is stalled) and
@@ -340,7 +357,7 @@ func (f *Flow) pacedIssue() {
 	}
 	gap := units.Interval(units.CacheLine, f.paceRate())
 	if f.cfg.Jitter {
-		gap = units.Time(math.Round(float64(gap) * f.net.Engine().Rand().ExpFloat64()))
+		gap = units.Time(math.Round(float64(gap) * f.eng.Rand().ExpFloat64()))
 		if gap < units.Picosecond {
 			gap = units.Picosecond
 		}
