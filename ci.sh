@@ -27,7 +27,13 @@ go test ./...
 # assertions are race-agnostic) to keep this leg within budget. The
 # explicit -timeout covers single-core hosts, where the race-instrumented
 # harness suite can exceed go test's 600s default.
-go test -race -timeout 1800s ./internal/harness/ ./internal/sim/ ./internal/link/ ./internal/core/ ./internal/metrics/
+# internal/anomaly rides along: detectors run inside the OnHarvest hook
+# of engine-local registries under the parallel orchestrator.
+# internal/serve IS the concurrency: its mirror is written from cell
+# goroutines while HTTP handlers scrape (TestConcurrentScrape).
+# internal/trace rides along for the trace-metrics fusion path
+# (SpansInWindow keyed off harvest-window stamps).
+go test -race -timeout 1800s ./internal/harness/ ./internal/sim/ ./internal/link/ ./internal/core/ ./internal/metrics/ ./internal/anomaly/ ./internal/serve/ ./internal/trace/
 
 # Observability overhead guards: an attached-but-disabled tracer must stay
 # within ~5% of a nil tracer on the channel hot path, and the tracer hooks
@@ -47,6 +53,16 @@ bench=$(go test ./internal/metrics/ -run '^$' -bench 'BenchmarkMetricsHarvest' -
 echo "$bench"
 if echo "$bench" | grep 'BenchmarkMetricsHarvest' | grep -qv ' 0 allocs/op'; then
     echo "metrics harvest allocates on the steady-state path" >&2
+    exit 1
+fi
+
+# The online anomaly detector sweep over the same table must not allocate
+# either: detector state is sized at the first sweep, and the steady-state
+# (no incident transitions) update path is flat arithmetic.
+bench=$(go test ./internal/anomaly/ -run '^$' -bench 'BenchmarkDetectorSweep' -benchtime 1000x)
+echo "$bench"
+if echo "$bench" | grep 'BenchmarkDetectorSweep' | grep -qv ' 0 allocs/op'; then
+    echo "anomaly detector sweep allocates on the steady-state path" >&2
     exit 1
 fi
 

@@ -10,6 +10,13 @@
 //	chipletstat -in stats.json -window 3             one window's top view
 //	chipletstat -in stats.json -all                  every window's top view
 //	chipletstat -in stats.json -format csv -o f.csv  re-export the series
+//	chipletstat -in stats.json -serve :8080          serve the dump over HTTP
+//
+// -serve exposes the dump behind the same endpoint set cmd/chipletserve
+// uses for live fleets (/metrics, /bottlenecks, /incidents, /cells), so
+// a series recorded yesterday scrapes exactly like one recording now;
+// -incidents adds a saved incident feed (chipletserve's /incidents JSON)
+// to the served cell.
 package main
 
 import (
@@ -17,9 +24,13 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http"
 	"os"
+	"path/filepath"
 
+	"repro/internal/anomaly"
 	"repro/internal/metrics"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -31,6 +42,8 @@ func main() {
 	top := flag.Int("top", 5, "rows per window in the top views and bottleneck report")
 	format := flag.String("format", "", "re-export the series as openmetrics, csv or json instead of reporting")
 	out := flag.String("o", "", "output file for -format (default stdout)")
+	serveAddr := flag.String("serve", "", "serve the dump over HTTP at this address instead of reporting")
+	incidentsIn := flag.String("incidents", "", "incident feed JSON to serve alongside the dump (with -serve)")
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
@@ -44,6 +57,26 @@ func main() {
 	f.Close()
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *serveAddr != "" {
+		var incs []anomaly.Incident
+		if *incidentsIn != "" {
+			g, err := os.Open(*incidentsIn)
+			if err != nil {
+				log.Fatal(err)
+			}
+			incs, err = anomaly.ReadJSON(g)
+			g.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		fleet := serve.NewFleet()
+		name := filepath.Base(*in)
+		fleet.AddStatic(name, d, incs)
+		log.Printf("serving %s (%d windows, %d incidents) on %s",
+			name, d.Total()-d.FirstWindow(), len(incs), *serveAddr)
+		log.Fatal(http.ListenAndServe(*serveAddr, fleet.Handler()))
 	}
 	if *format != "" {
 		if err := export(d, *format, *out); err != nil {

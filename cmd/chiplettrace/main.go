@@ -8,6 +8,13 @@
 //
 //	chiplettrace -in trace.json [-top N]         summary report
 //	chiplettrace -in trace.json -txn 812         one transaction's timeline
+//	chiplettrace -in trace.json -from 300 -to 400
+//	                                             report one time window only
+//
+// -from/-to (simulated microseconds) restrict every report to the spans
+// overlapping [from, to) — pass a metrics harvest window's bounds (an
+// incident's onset_start_ps/onset_end_ps from the /incidents feed,
+// divided by 1e6) to fuse a recorded trace with that window offline.
 //
 // The same JSON loads in https://ui.perfetto.dev for visual inspection;
 // this tool covers the cases where a number, not a picture, is wanted.
@@ -17,9 +24,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 
 	"repro/internal/trace"
+	"repro/internal/units"
 )
 
 func main() {
@@ -28,6 +37,8 @@ func main() {
 	in := flag.String("in", "", "trace file to inspect (required)")
 	top := flag.Int("top", 10, "rows in the per-hop and slowest-transaction lists")
 	txnID := flag.Uint64("txn", 0, "print the hop-by-hop timeline of this transaction id instead of the summary")
+	from := flag.Float64("from", 0, "restrict reports to spans overlapping [from, to) in simulated microseconds")
+	to := flag.Float64("to", math.Inf(1), "window end in simulated microseconds (with -from)")
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
@@ -41,6 +52,19 @@ func main() {
 	ld, err := trace.ReadTraceEvents(f)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *from > 0 || !math.IsInf(*to, 1) {
+		if *to <= *from {
+			log.Fatalf("-to %v must be after -from %v", *to, *from)
+		}
+		start := units.Time(*from * float64(units.Microsecond))
+		end := units.Time(math.MaxInt64)
+		if !math.IsInf(*to, 1) {
+			end = units.Time(*to * float64(units.Microsecond))
+		}
+		n := len(ld.Spans)
+		ld = ld.Window(start, end)
+		fmt.Printf("window [%vus, %vus): %d of %d spans\n\n", *from, *to, len(ld.Spans), n)
 	}
 	if *txnID != 0 {
 		fmt.Print(ld.TxnDetail(*txnID))

@@ -1,27 +1,31 @@
-// Live windowed statistics: watching a bottleneck appear in real time.
+// Live congestion observability: watching the anomaly detector catch a
+// bottleneck the moment it appears.
 //
-// A victim flow reads DRAM channel 0 from chiplet 2 of the EPYC 9634 at a
-// comfortable rate. Two virtual "seconds" in (200 us simulated, 1:1000),
-// an aggressor on chiplet 3 starts hammering the same channel. A metrics
-// registry harvests every 100 us of simulated time — the paper's 100 ms
-// Infinity Fabric harvest interval — and an OnHarvest callback renders a
-// top-like view of each window as the simulation produces it, the way a
-// dashboard would.
+// A victim flow reads DRAM channel 0 from chiplet 2 of the EPYC 9634 at
+// a comfortable rate. Two virtual "seconds" in (200 us simulated,
+// 1:1000), an aggressor on chiplet 3 starts hammering the same channel.
+// A metrics registry harvests every 100 us of simulated time — the
+// paper's 100 ms Infinity Fabric harvest interval — and the online
+// anomaly detectors (internal/anomaly) watch every harvested window as
+// it is recorded.
 //
-// The onset window is unmistakable: umc0/rd jumps from light utilization
-// to 100% with its queue depth climbing every window, per-window queue
-// wait grows four orders of magnitude, and the aggressor cores' MSHR
-// pools surface as secondary congestion points — the §3.2 "CCX queue"
-// backpressure, localized per window without any tracing.
+// The incident stream tells the story by itself: the quiet windows
+// before the aggressor produce nothing, then the onset window fires one
+// incident naming umc0/rd — already carrying the window's bottleneck
+// attribution — and the incident stays open while the channel is
+// saturated. No post-processing, no tracing: the detector's view is the
+// same OnHarvest hook a dashboard (or cmd/chipletserve's fleet mirror)
+// rides.
 //
-// The probes are pulled only at harvest ticks, so the instrumented run
-// executes the exact same event sequence as an uninstrumented one.
+// The detectors only read the registry's windows, so the instrumented
+// run executes the exact same event sequence as an uninstrumented one.
 package main
 
 import (
 	"fmt"
 	"log"
 
+	"repro/internal/anomaly"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -47,6 +51,15 @@ func main() {
 
 	reg := metrics.New(metrics.Config{}) // default 100 us window
 	net.AttachMetrics(reg)
+
+	// The detectors attach to the registry's harvest hook. MinRate 0.25
+	// keeps the victim's own light queueing under the onset floor, so the
+	// only incident is the aggressor's: a resource must average a quarter
+	// of a waiter per window before an onset can open.
+	mon := anomaly.Attach(reg, anomaly.Config{MinRate: 0.25})
+	mon.OnIncident(func(in anomaly.Incident) {
+		fmt.Println(anomaly.RenderIncident(in))
+	})
 
 	victim, err := traffic.NewFlow(net, traffic.FlowConfig{
 		Name: "victim", Cores: ccxCores(2, 0, 5),
@@ -74,17 +87,22 @@ func main() {
 		aggressor.Start()
 	})
 
-	// Stream each window as it is harvested — this is what cmd/reproduce
-	// -stats does, and what a live dashboard would hook.
+	// A one-line pulse per window, dashboard-style: the detector state
+	// alongside the window index. Incidents print via OnIncident above
+	// the moment they open or clear.
 	reg.OnHarvest(func() {
-		fmt.Println(metrics.RenderWindow(reg, reg.Total()-1, 3))
+		w := reg.Total() - 1
+		fmt.Printf("window %d [%v, %v): %d incidents, %d open\n",
+			w, reg.WindowStart(w), reg.WindowEnd(w),
+			mon.NumIncidents(), len(mon.OpenIncidents()))
 	})
 	reg.Start(eng)
 	eng.RunUntil(600 * units.Microsecond)
 	reg.Stop()
 
-	fmt.Println(metrics.BottleneckReport(reg, 2))
-	fmt.Printf("victim (demand %v): %v alone, %v under contention — its bandwidth "+
-		"survives while the latency cost lands on the saturated UMC named per window above\n",
+	fmt.Println()
+	fmt.Print(anomaly.Report(mon.Incidents()))
+	fmt.Printf("\nvictim (demand %v): %v alone, %v under contention — its bandwidth "+
+		"survives while the latency cost lands on the saturated channel the incident names\n",
 		units.GBps(12), before, victim.Achieved())
 }

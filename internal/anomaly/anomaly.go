@@ -1,0 +1,408 @@
+// Package anomaly is the online change-point layer of the observability
+// stack: where internal/metrics records what every resource did per
+// harvest window, this package watches those windows as they are recorded
+// and flags congestion onset the moment it happens — the live view of the
+// paper's harvesting story (Figure 5's windowed utilization, the §2.2
+// NUMA-spillover scenarios), instead of a post-mortem report.
+//
+// A Monitor attaches to a metrics.Registry via OnHarvest and runs two
+// streaming detectors per watched instrument on each new window:
+//
+//   - an EWMA band: exponentially-weighted mean and variance of the
+//     instrument's normalized rate; a sample above mean + K·sigma (and
+//     above the absolute MinRate floor) is anomalous. The baselines are
+//     zero-primed, so a resource that is congested from the first
+//     harvested window fires at that window — congestion present at
+//     measurement start is itself an onset.
+//   - a Page–Hinkley change-point test: cumulative deviation from the
+//     running mean minus a drift allowance; when the deviation range
+//     exceeds Lambda, a slow ramp that never leaves the adapting EWMA
+//     band is still flagged.
+//
+// While an incident is open its instrument's baselines are frozen —
+// anomalous samples must not pollute the estimate of normal — and the
+// incident clears only after Clear consecutive windows back inside the
+// band (or under the floor). Incidents carry their onset/clear windows,
+// severity, and the bottleneck ranking of the onset window, so "umc0/rd
+// saturated in window 41" arrives already attributed.
+//
+// Costs follow the registry's discipline: all detector state is
+// preallocated at the first sweep (one flat array over the watch list),
+// and the steady-state update sweep is allocation-free over the full
+// instrument table — ci.sh gates BenchmarkDetectorSweep at 0 allocs/op.
+// Incident onset and clear allocate (they append a record and rank the
+// window's bottlenecks), which is fine: incidents are rare by
+// construction. Like the registry, a monitor only reads — attaching one
+// cannot change a single transaction completion time.
+package anomaly
+
+import (
+	"math"
+
+	"repro/internal/metrics"
+	"repro/internal/units"
+)
+
+// Config tunes a Monitor's detectors.
+type Config struct {
+	// Metrics selects which canonical metric names to watch; default
+	// {MetricWait} — the congestion signal the bottleneck attributor
+	// ranks by. Counter samples are normalized to a dimensionless rate
+	// (delta / window span, e.g. wait_ps per ps = average concurrent
+	// waiters); gauges are watched as-is.
+	Metrics []string
+	// Alpha is the EWMA smoothing factor in (0, 1]; default 0.25.
+	Alpha float64
+	// K is the EWMA band half-width in sigmas; default 6.
+	K float64
+	// MinRate is the absolute onset floor in normalized-rate units;
+	// samples at or below it are never anomalous. The default 0.05 means
+	// a resource must spend >5% of the window congested (e.g. 0.05
+	// average waiters for MetricWait) before any incident can open.
+	MinRate float64
+	// PHDelta is the Page–Hinkley drift allowance per window (normalized
+	// units); default 0.01. PHLambda is the alarm threshold on the
+	// cumulative deviation range; default 0.5.
+	PHDelta  float64
+	PHLambda float64
+	// Clear is how many consecutive in-band windows close an open
+	// incident; default 2.
+	Clear int
+	// TopK is how many ranked bottlenecks each incident links from its
+	// onset window; default 5.
+	TopK int
+	// MaxIncidents bounds the recorded incident list (default 1024);
+	// further onsets are counted in IncidentsDropped but not recorded.
+	MaxIncidents int
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Metrics) == 0 {
+		c.Metrics = []string{metrics.MetricWait}
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.25
+	}
+	if c.K <= 0 {
+		c.K = 6
+	}
+	if c.MinRate <= 0 {
+		c.MinRate = 0.05
+	}
+	if c.PHDelta <= 0 {
+		c.PHDelta = 0.01
+	}
+	if c.PHLambda <= 0 {
+		c.PHLambda = 0.5
+	}
+	if c.Clear <= 0 {
+		c.Clear = 2
+	}
+	if c.TopK <= 0 {
+		c.TopK = 5
+	}
+	if c.MaxIncidents <= 0 {
+		c.MaxIncidents = 1024
+	}
+	return c
+}
+
+// Detector names an incident's triggering test.
+const (
+	DetectorEWMA = "ewma"
+	DetectorPH   = "ph"
+	DetectorBoth = "ewma+ph"
+)
+
+// Incident is one detected congestion episode on one instrument: open
+// from its onset window until (and unless) it clears. Times are the
+// onset/clear windows' [start, end) stamps from the registry, so an
+// incident keys directly into the trace-metrics fusion path
+// (trace.SpansInWindow).
+type Incident struct {
+	// ID numbers incidents in onset order, from 0, per monitor.
+	ID int `json:"id"`
+	// Resource, Metric and Family identify the instrument (e.g.
+	// "umc0/rd" + "wait_ps", family "memsys").
+	Resource string `json:"resource"`
+	Metric   string `json:"metric"`
+	Family   string `json:"family"`
+	// Detector is which test fired at onset: "ewma", "ph" or "ewma+ph".
+	Detector string `json:"detector"`
+	// OnsetWindow is the window index where the anomaly was detected;
+	// OnsetStart/OnsetEnd are that window's bounds.
+	OnsetWindow int        `json:"onset_window"`
+	OnsetStart  units.Time `json:"onset_start_ps"`
+	OnsetEnd    units.Time `json:"onset_end_ps"`
+	// ClearWindow is the window index where the incident cleared (the
+	// last of Clear consecutive calm windows), -1 while open. ClearEnd
+	// is that window's end stamp.
+	ClearWindow int        `json:"clear_window"`
+	ClearEnd    units.Time `json:"clear_end_ps,omitempty"`
+	// Baseline is the frozen EWMA mean at onset; Severity the peak
+	// normalized rate observed while open. Both are in normalized-rate
+	// units (average concurrent waiters, for MetricWait).
+	Baseline float64 `json:"baseline"`
+	Severity float64 `json:"severity"`
+	// Bottlenecks is the attributor's ranking for the onset window — the
+	// incident arrives naming where the congestion lives, not just which
+	// instrument tripped.
+	Bottlenecks []metrics.Bottleneck `json:"bottlenecks,omitempty"`
+}
+
+// Open reports whether the incident has not yet cleared.
+func (in Incident) Open() bool { return in.ClearWindow < 0 }
+
+// detState is one watched instrument's streaming detector state.
+type detState struct {
+	id   metrics.ID
+	desc metrics.Desc
+
+	mean, variance float64 // EWMA estimates (zero-primed)
+
+	// Page–Hinkley accumulators: running sum/count for the cumulative
+	// mean, the PH statistic and its running minimum.
+	phSum   float64
+	phN     int
+	ph      float64
+	phMin   float64
+	primed  bool
+	lastX   float64
+	calmRun int // consecutive calm windows while an incident is open
+	openIdx int // incidents index + 1 of the open incident, 0 when closed
+}
+
+// Monitor runs the detectors over a registry's harvest stream. Build one
+// with Attach; like the registry it observes, a monitor is engine-local
+// and single-goroutine.
+type Monitor struct {
+	reg *metrics.Registry
+	cfg Config
+
+	states []detState // sized at the first sweep, then fixed
+
+	incidents  []Incident
+	dropped    int
+	lastWindow int // last processed window index; guards double-processing
+	onIncident func(Incident)
+}
+
+// Attach builds a monitor over reg and installs its sweep on the
+// registry's harvest hook. Attach before any other OnHarvest observer
+// that wants to see fresh incidents (observers run in attach order), and
+// before or after instrument registration — the watch list is built
+// lazily at the first harvested window.
+func Attach(reg *metrics.Registry, cfg Config) *Monitor {
+	if reg == nil {
+		panic("anomaly: nil registry")
+	}
+	m := &Monitor{reg: reg, cfg: cfg.withDefaults(), lastWindow: -1}
+	reg.OnHarvest(m.sweep)
+	return m
+}
+
+// OnIncident installs an observer invoked at every incident transition:
+// once at onset (Incident.Open() true) and once at clear. The incident
+// value is a snapshot; the monitor keeps updating its own record's
+// severity while open.
+func (m *Monitor) OnIncident(fn func(Incident)) { m.onIncident = fn }
+
+// watches reports whether the metric name is on the watch list.
+func (m *Monitor) watches(metric string) bool {
+	for _, w := range m.cfg.Metrics {
+		if w == metric {
+			return true
+		}
+	}
+	return false
+}
+
+// build sizes the detector state table from the registry's instrument
+// list — once, at the first harvested window, after which the sweep is
+// allocation-free.
+func (m *Monitor) build() {
+	n := 0
+	for i := 0; i < m.reg.NumInstruments(); i++ {
+		if m.watches(m.reg.Desc(i).Metric) {
+			n++
+		}
+	}
+	m.states = make([]detState, 0, n)
+	for i := 0; i < m.reg.NumInstruments(); i++ {
+		d := m.reg.Desc(i)
+		if m.watches(d.Metric) {
+			m.states = append(m.states, detState{id: metrics.ID(i), desc: d})
+		}
+	}
+	m.incidents = make([]Incident, 0, m.cfg.MaxIncidents)
+}
+
+// sweep processes the newest harvested window: one detector update per
+// watched instrument. The steady-state path (no incident transitions)
+// performs no allocations.
+func (m *Monitor) sweep() {
+	if m.states == nil {
+		m.build()
+	}
+	w := m.reg.Total() - 1
+	if w <= m.lastWindow {
+		return
+	}
+	m.lastWindow = w
+	span := float64(m.reg.WindowEnd(w) - m.reg.WindowStart(w))
+	if span <= 0 {
+		return
+	}
+	for i := range m.states {
+		m.update(&m.states[i], w, span)
+	}
+}
+
+// update advances one instrument's detectors over window w.
+func (m *Monitor) update(st *detState, w int, span float64) {
+	x := m.reg.Value(st.id, w)
+	if st.desc.Kind == metrics.KindCounter {
+		// Normalize the per-window delta by the actual window span, so a
+		// short window after a Stop/Start restart reads the same as a
+		// full one and cannot fake an onset or a clear.
+		x /= span
+	}
+	st.lastX = x
+
+	if st.openIdx != 0 {
+		// Baselines frozen while open: judge calm against the frozen
+		// band, update severity, count down to clear.
+		inc := &m.incidents[st.openIdx-1]
+		if x > inc.Severity {
+			inc.Severity = x
+		}
+		if x <= m.cfg.MinRate || x <= st.mean+m.cfg.K*sigma(st.variance) {
+			st.calmRun++
+			if st.calmRun >= m.cfg.Clear {
+				m.clear(st, w)
+			}
+		} else {
+			st.calmRun = 0
+		}
+		return
+	}
+
+	// EWMA band test against the pre-update baseline.
+	ewmaFired := x > m.cfg.MinRate && x > st.mean+m.cfg.K*sigma(st.variance)
+
+	// Page–Hinkley: cumulative upward deviation from the running mean.
+	st.phSum += x
+	st.phN++
+	st.ph += x - st.phSum/float64(st.phN) - m.cfg.PHDelta
+	if st.ph < st.phMin {
+		st.phMin = st.ph
+	}
+	phFired := x > m.cfg.MinRate && st.ph-st.phMin > m.cfg.PHLambda
+
+	if ewmaFired || phFired {
+		m.open(st, w, x, ewmaFired, phFired)
+		return
+	}
+
+	// Calm: fold the sample into the EWMA estimates (zero-primed — the
+	// first samples pull the baseline up from zero, which is what makes
+	// congestion-at-start an onset at window FirstWindow).
+	dev := x - st.mean
+	st.mean += m.cfg.Alpha * dev
+	st.variance = (1 - m.cfg.Alpha) * (st.variance + m.cfg.Alpha*dev*dev)
+}
+
+// open records an incident onset at window w.
+func (m *Monitor) open(st *detState, w int, x float64, ewmaFired, phFired bool) {
+	if len(m.incidents) == cap(m.incidents) {
+		m.dropped++
+		return
+	}
+	det := DetectorEWMA
+	switch {
+	case ewmaFired && phFired:
+		det = DetectorBoth
+	case phFired:
+		det = DetectorPH
+	}
+	m.incidents = append(m.incidents, Incident{
+		ID:          len(m.incidents),
+		Resource:    st.desc.Resource,
+		Metric:      st.desc.Metric,
+		Family:      st.desc.Family,
+		Detector:    det,
+		OnsetWindow: w,
+		OnsetStart:  m.reg.WindowStart(w),
+		OnsetEnd:    m.reg.WindowEnd(w),
+		ClearWindow: -1,
+		Baseline:    st.mean,
+		Severity:    x,
+		Bottlenecks: metrics.Bottlenecks(m.reg, w, m.cfg.TopK),
+	})
+	st.openIdx = len(m.incidents)
+	st.calmRun = 0
+	if m.onIncident != nil {
+		m.onIncident(m.incidents[len(m.incidents)-1])
+	}
+}
+
+// clear closes an instrument's open incident at window w and resets the
+// Page–Hinkley accumulators so the next episode is judged fresh; the
+// frozen EWMA baseline resumes adapting from its pre-onset estimate.
+func (m *Monitor) clear(st *detState, w int) {
+	inc := &m.incidents[st.openIdx-1]
+	inc.ClearWindow = w
+	inc.ClearEnd = m.reg.WindowEnd(w)
+	st.openIdx = 0
+	st.calmRun = 0
+	st.phSum = 0
+	st.phN = 0
+	st.ph = 0
+	st.phMin = 0
+	if m.onIncident != nil {
+		m.onIncident(*inc)
+	}
+}
+
+func sigma(variance float64) float64 {
+	if variance <= 0 {
+		return 0
+	}
+	return math.Sqrt(variance)
+}
+
+// NumWatched reports how many instruments the monitor runs detectors on
+// (0 before the first harvested window sizes the watch list).
+func (m *Monitor) NumWatched() int { return len(m.states) }
+
+// NumIncidents reports recorded incidents; Incident returns the i-th (a
+// copy, in onset order). The pair lets mirrors poll incrementally
+// without re-copying the whole list each window.
+func (m *Monitor) NumIncidents() int { return len(m.incidents) }
+
+// Incident reports the i-th recorded incident.
+func (m *Monitor) Incident(i int) Incident { return m.incidents[i] }
+
+// Incidents reports a copy of every recorded incident, onset order.
+func (m *Monitor) Incidents() []Incident {
+	out := make([]Incident, len(m.incidents))
+	copy(out, m.incidents)
+	return out
+}
+
+// OpenIncidents reports copies of the incidents still open.
+func (m *Monitor) OpenIncidents() []Incident {
+	var out []Incident
+	for _, in := range m.incidents {
+		if in.Open() {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// IncidentsDropped reports onsets discarded after MaxIncidents.
+func (m *Monitor) IncidentsDropped() int { return m.dropped }
+
+// Registry reports the monitored registry.
+func (m *Monitor) Registry() *metrics.Registry { return m.reg }

@@ -1,0 +1,193 @@
+package harness
+
+import (
+	"bytes"
+	"log"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/anomaly"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// TestFigure4MonitoredCellMatchesPlain is the detector determinism
+// guard: the monitor only reads the registry's windows, so a monitored
+// cell must produce byte-identical bandwidth results to the plain one.
+func TestFigure4MonitoredCellMatchesPlain(t *testing.T) {
+	opt := quick()
+	want, err := figure4Cell(Figure4Scenarios()[1], Fig4Cases()[2], opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.New(metrics.Config{Window: 25 * units.Microsecond})
+	got, mon, err := Figure4MonitoredCell(opt, 1, 2, reg, anomaly.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("detectors changed the result:\nplain     %+v\nmonitored %+v", want, got)
+	}
+	if mon.NumWatched() == 0 {
+		t.Fatal("monitor watched no instruments")
+	}
+}
+
+// TestFigure4MonitoredCellNamesSharedUMC: in the UMC/GMI scenario with
+// equal over-subscribing demands, congestion on the shared memory
+// channel is steady by the time the registry starts (after convergence),
+// so the zero-primed detector must raise an incident naming umc0's read
+// channel at the first harvested window — and the linked bottleneck
+// ranking must agree.
+func TestFigure4MonitoredCellNamesSharedUMC(t *testing.T) {
+	reg := metrics.New(metrics.Config{Window: 25 * units.Microsecond})
+	_, mon, err := Figure4MonitoredCell(quick(), 1, 2, reg, anomaly.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	incs := mon.Incidents()
+	if len(incs) == 0 {
+		t.Fatal("over-subscribed shared-UMC cell raised no incidents")
+	}
+	var umc *anomaly.Incident
+	for i := range incs {
+		if strings.HasPrefix(incs[i].Resource, "umc0") {
+			umc = &incs[i]
+			break
+		}
+	}
+	if umc == nil {
+		t.Fatalf("no incident names umc0/*: %v", anomaly.Report(incs))
+	}
+	if umc.OnsetWindow != reg.FirstWindow() {
+		t.Errorf("umc0 incident onset at window %d, want the first harvested window %d",
+			umc.OnsetWindow, reg.FirstWindow())
+	}
+	if !umc.Open() {
+		t.Errorf("steady congestion cleared at window %d, want open through the run", umc.ClearWindow)
+	}
+	if len(umc.Bottlenecks) == 0 || !strings.HasPrefix(umc.Bottlenecks[0].Resource, "umc0") {
+		t.Errorf("incident's linked ranking = %+v, want umc0/* first", umc.Bottlenecks)
+	}
+}
+
+// TestFigure5MonitoredRunMatchesPlain: same invisibility contract for
+// the Figure 5 schedule.
+func TestFigure5MonitoredRunMatchesPlain(t *testing.T) {
+	opt := quick()
+	want, err := figure5Run(Figure5Scenarios()[0], opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.New(metrics.Config{})
+	got, mon, err := Figure5MonitoredRun(opt, 0, reg, anomaly.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("detectors changed the Figure 5 result")
+	}
+	if mon.NumWatched() == 0 {
+		t.Fatal("monitor watched no instruments")
+	}
+}
+
+// TestFigure4FusedCellWindowVerdict runs tracer and registry on one
+// engine and checks the fused view against the flight recorder's own
+// span-level verdict: the spans SpansInWindow returns for the incident's
+// onset window are exactly the ones a brute-force EachSpan overlap
+// filter selects, they are non-empty, and they include wait time on the
+// congested umc0/rd hop itself.
+func TestFigure4FusedCellWindowVerdict(t *testing.T) {
+	reg := metrics.New(metrics.Config{Window: 25 * units.Microsecond})
+	mon := anomaly.Attach(reg, anomaly.Config{})
+	_, tr, err := Figure4FusedCell(quick(), 1, 2, 0, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incs := mon.Incidents()
+	var umc *anomaly.Incident
+	for i := range incs {
+		if incs[i].Resource == "umc0/rd" {
+			umc = &incs[i]
+			break
+		}
+	}
+	if umc == nil {
+		t.Fatalf("no umc0/rd incident to fuse: %v", anomaly.Report(incs))
+	}
+
+	fused := anomaly.Fuse(*umc, tr)
+	if len(fused.Spans) == 0 {
+		t.Fatal("fused onset window holds no spans")
+	}
+
+	// The flight recorder's verdict: brute-force overlap filter over the
+	// whole ring must select exactly the fused span set, in order.
+	var want []trace.Span
+	tr.EachSpan(func(s trace.Span) {
+		if s.End > fused.Start && s.Start < fused.End {
+			want = append(want, s)
+		}
+	})
+	if !reflect.DeepEqual(fused.Spans, want) {
+		t.Fatalf("fused spans diverge from the recorder's verdict: %d vs %d spans",
+			len(fused.Spans), len(want))
+	}
+	// Every fused span genuinely overlaps the window.
+	for _, s := range fused.Spans {
+		if s.End <= fused.Start || s.Start >= fused.End {
+			t.Fatalf("span [%v,%v) outside fused window [%v,%v)", s.Start, s.End, fused.Start, fused.End)
+		}
+	}
+
+	// The congested resource's own hop appears among the fused spans with
+	// wait time — the metrics-side name keys into the trace-side hop.
+	hops := tr.Hops()
+	sawUMCWait := false
+	for _, s := range fused.Spans {
+		if hops[s.Hop].Name == "umc0/rd" && s.Cause == trace.CauseQueued {
+			sawUMCWait = true
+			break
+		}
+	}
+	if !sawUMCWait {
+		t.Error("fused window has no queueing span on the umc0/rd hop")
+	}
+
+	// And the rendered fusion names the resource.
+	out := fused.Render(hops, 5)
+	if !strings.Contains(out, "umc0/rd") {
+		t.Errorf("fusion render missing umc0/rd:\n%s", out)
+	}
+}
+
+// TestTraceForcesClassicWarning: requesting Domains with a tracer
+// attached silently fell back to the classic engine before; now it warns
+// once on stderr.
+func TestTraceForcesClassicWarning(t *testing.T) {
+	var buf bytes.Buffer
+	prev := log.Writer()
+	log.SetOutput(&buf)
+	defer log.SetOutput(prev)
+
+	opt := quick()
+	opt.Domains = 2
+	if _, _, err := Figure4TraceCell(opt, 1, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "classic single engine") {
+		t.Errorf("no fallback warning logged; got %q", buf.String())
+	}
+
+	// Once per process: a second traced cell stays quiet.
+	buf.Reset()
+	if _, _, err := Figure4TraceCell(opt, 1, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("warning repeated: %q", buf.String())
+	}
+}

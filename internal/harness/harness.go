@@ -8,7 +8,9 @@ package harness
 
 import (
 	"fmt"
+	"log"
 	"strings"
+	"sync"
 	"text/tabwriter"
 
 	"repro/internal/core"
@@ -73,12 +75,22 @@ func (o Options) newNet(p *topology.Profile) *core.Network {
 	return n
 }
 
+// classicWarn rate-limits the trace-forces-classic warning to once per
+// process: a sweep's cells all resolve the same Options.
+var classicWarn sync.Once
+
 // newCellNet builds the network for one experiment cell, honouring the
 // Domains option. forceClassic pins the classic single-engine build
 // regardless of Domains — cells that attach a flight recorder need the
 // single-engine event order for exact span tiling.
 func (o Options) newCellNet(p *topology.Profile, forceClassic bool) *core.Network {
 	if o.Domains <= 0 || forceClassic {
+		if forceClassic && o.Domains > 0 {
+			classicWarn.Do(func() {
+				log.Printf("harness: flight recorder attached; ignoring Domains=%d and running traced cells on the classic single engine (exact span tiling needs its event order)",
+					o.Domains)
+			})
+		}
 		return o.newNet(p)
 	}
 	n := core.NewPartitioned(o.Seed, p, o.domainWorkers())

@@ -178,25 +178,45 @@ func omUnit(unit string) string {
 // of window deltas since the first retained window) under a _total
 // suffix, gauges as-is; timestamps are window ends in simulated seconds.
 func WriteOpenMetrics(w io.Writer, s Source) error {
-	first, total := s.FirstWindow(), s.Total()
-	// Group instruments by metric family, preserving first-seen order.
+	return WriteOpenMetricsFleet(w, []string{""}, []Source{s})
+}
+
+// WriteOpenMetricsFleet writes several harvested series — a fleet of
+// parallel experiment cells — as one OpenMetrics exposition. Each metric
+// family's TYPE/UNIT header appears exactly once (OpenMetrics forbids
+// repeats), with every cell's samples under it carrying a cell="name"
+// label; an empty cell name omits the label, which is how the single-cell
+// WriteOpenMetrics rides this path. names and cells must be parallel
+// slices.
+func WriteOpenMetricsFleet(w io.Writer, names []string, cells []Source) error {
+	if len(names) != len(cells) {
+		return fmt.Errorf("metrics: %d cell names for %d sources", len(names), len(cells))
+	}
+	// Group instruments by metric family across every cell, preserving
+	// first-seen order; each member remembers its owning cell.
+	type member struct {
+		cell int
+		id   ID
+	}
 	type group struct {
-		metric string
-		kind   Kind
-		unit   string
-		ids    []ID
+		metric  string
+		kind    Kind
+		unit    string
+		members []member
 	}
 	var groups []*group
 	byMetric := map[string]*group{}
-	for i := 0; i < s.NumInstruments(); i++ {
-		d := s.Desc(i)
-		g := byMetric[d.Metric]
-		if g == nil {
-			g = &group{metric: d.Metric, kind: d.Kind, unit: d.Unit}
-			byMetric[d.Metric] = g
-			groups = append(groups, g)
+	for c, s := range cells {
+		for i := 0; i < s.NumInstruments(); i++ {
+			d := s.Desc(i)
+			g := byMetric[d.Metric]
+			if g == nil {
+				g = &group{metric: d.Metric, kind: d.Kind, unit: d.Unit}
+				byMetric[d.Metric] = g
+				groups = append(groups, g)
+			}
+			g.members = append(g.members, member{cell: c, id: ID(i)})
 		}
-		g.ids = append(g.ids, ID(i))
 	}
 	for _, g := range groups {
 		name := "chiplet_" + sanitizeOM(g.metric)
@@ -210,17 +230,23 @@ func WriteOpenMetrics(w io.Writer, s Source) error {
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n# UNIT %s %s\n", name, kind, name, unit); err != nil {
 			return err
 		}
-		for _, id := range g.ids {
-			d := s.Desc(int(id))
+		for _, m := range g.members {
+			s := cells[m.cell]
+			d := s.Desc(int(m.id))
+			cellLabel := ""
+			if names[m.cell] != "" {
+				cellLabel = fmt.Sprintf(",cell=%q", names[m.cell])
+			}
+			first, total := s.FirstWindow(), s.Total()
 			cum := 0.0
 			for win := first; win < total; win++ {
-				v := s.Value(id, win)
+				v := s.Value(m.id, win)
 				if g.kind == KindCounter {
 					cum += v
 					v = cum
 				}
-				_, err := fmt.Fprintf(w, "%s%s{resource=%q,family=%q} %g %.9f\n",
-					name, suffix, d.Resource, d.Family, v, s.WindowEnd(win).Seconds())
+				_, err := fmt.Fprintf(w, "%s%s{resource=%q,family=%q%s} %g %.9f\n",
+					name, suffix, d.Resource, d.Family, cellLabel, v, s.WindowEnd(win).Seconds())
 				if err != nil {
 					return err
 				}

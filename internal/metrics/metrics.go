@@ -173,7 +173,7 @@ type Registry struct {
 	pending   int        // scheduled-but-unfired harvest ticks (0 or 1)
 	lastTick  units.Time // start of the currently-accumulating window
 	harvestFn func()     // pre-bound so rescheduling never allocates
-	onHarvest func()
+	onHarvest []func()
 }
 
 // New builds a registry with the given window and capacity.
@@ -294,17 +294,19 @@ func (r *Registry) harvest() {
 	} else {
 		r.dropped++
 	}
-	if r.onHarvest != nil {
-		r.onHarvest()
+	for _, fn := range r.onHarvest {
+		fn()
 	}
 	r.schedule()
 }
 
-// OnHarvest installs an observer invoked after each window is recorded —
-// the hook live renderers attach. The observer may allocate; it runs
-// outside the gated harvest cost only in the sense that a nil observer
-// costs one branch.
-func (r *Registry) OnHarvest(fn func()) { r.onHarvest = fn }
+// OnHarvest appends an observer invoked after each window is recorded —
+// the hook anomaly detectors, serving mirrors and live renderers attach.
+// Observers run in attach order (so a detector attached before a mirror
+// has its incidents visible when the mirror snapshots the window) and may
+// allocate; with no observers the harvest tick pays only an empty range
+// loop.
+func (r *Registry) OnHarvest(fn func()) { r.onHarvest = append(r.onHarvest, fn) }
 
 // NumInstruments reports the registered instrument count.
 func (r *Registry) NumInstruments() int { return len(r.descs) }

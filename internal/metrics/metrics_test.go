@@ -278,6 +278,48 @@ func TestWriteOpenMetrics(t *testing.T) {
 	}
 }
 
+func TestWriteOpenMetricsFleet(t *testing.T) {
+	_, regA := harvested(t)
+	_, regB := harvested(t)
+	var buf bytes.Buffer
+	if err := metrics.WriteOpenMetricsFleet(&buf, []string{"cellA", "cellB"}, []metrics.Source{regA, regB}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// One TYPE header per metric family even with two cells under it.
+	if got := strings.Count(out, "# TYPE chiplet_bytes counter"); got != 1 {
+		t.Errorf("chiplet_bytes TYPE header appears %d times, want 1", got)
+	}
+	for _, want := range []string{
+		`chiplet_bytes_total{resource="res0",family="fam",cell="cellA"}`,
+		`chiplet_bytes_total{resource="res0",family="fam",cell="cellB"}`,
+		`chiplet_depth{resource="res0",family="fam",cell="cellA"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet exposition missing %q", want)
+		}
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Error("fleet exposition does not end with # EOF")
+	}
+	if err := metrics.WriteOpenMetricsFleet(&buf, []string{"one"}, []metrics.Source{regA, regB}); err == nil {
+		t.Error("mismatched names/sources accepted")
+	}
+}
+
+func TestOnHarvestObserverChain(t *testing.T) {
+	f, _, _ := newFixture(t, metrics.Config{Window: win})
+	var order []string
+	f.reg.OnHarvest(func() { order = append(order, "detector") })
+	f.reg.OnHarvest(func() { order = append(order, "mirror") })
+	f.reg.Start(f.eng)
+	f.eng.RunUntil(win)
+	f.reg.Stop()
+	if !reflect.DeepEqual(order, []string{"detector", "mirror"}) {
+		t.Fatalf("observers ran in order %v, want attach order", order)
+	}
+}
+
 func TestWriteCSV(t *testing.T) {
 	_, reg := harvested(t)
 	var buf bytes.Buffer

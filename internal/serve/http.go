@@ -1,0 +1,168 @@
+// The fleet's HTTP surface. Every handler works from deep-copied cell
+// snapshots, so rendering — which can be slow for a big fleet — holds no
+// cell lock.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"repro/internal/anomaly"
+	"repro/internal/metrics"
+)
+
+// openMetricsContentType is the exposition content type Prometheus
+// negotiates for OpenMetrics 1.0.
+const openMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// CellIncident is one incident tagged with its owning cell — the
+// /incidents wire form.
+type CellIncident struct {
+	Cell string `json:"cell"`
+	anomaly.Incident
+}
+
+// Handler serves the fleet:
+//
+//	/            index (text)
+//	/metrics     OpenMetrics exposition, one cell label per cell
+//	/incidents   incidents JSON feed (?cell= filters, ?open=1 only open)
+//	/bottlenecks per-window bottleneck table (?cell=, ?window=, ?top=)
+//	/cells       cell status JSON
+func (f *Fleet) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", f.handleIndex)
+	mux.HandleFunc("/metrics", f.handleMetrics)
+	mux.HandleFunc("/incidents", f.handleIncidents)
+	mux.HandleFunc("/bottlenecks", f.handleBottlenecks)
+	mux.HandleFunc("/cells", f.handleCells)
+	return mux
+}
+
+func (f *Fleet) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "chiplet fleet scrape service")
+	fmt.Fprintln(w, "  /metrics      OpenMetrics exposition")
+	fmt.Fprintln(w, "  /incidents    incidents JSON (?cell=NAME&open=1)")
+	fmt.Fprintln(w, "  /bottlenecks  bottleneck table (?cell=NAME&window=N&top=K)")
+	fmt.Fprintln(w, "  /cells        cell status JSON")
+	fmt.Fprintln(w, "cells:")
+	for _, s := range f.Snapshots() {
+		state := "running"
+		if s.Done {
+			state = "done"
+			if s.Err != "" {
+				state = "failed"
+			}
+		}
+		fmt.Fprintf(w, "  %-20s %s, %d windows, %d incidents (%d open)\n",
+			s.Name, state, s.Windows, s.NumIncidents, s.OpenNow)
+	}
+}
+
+func (f *Fleet) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var names []string
+	var cells []metrics.Source
+	for _, s := range f.Snapshots() {
+		if s.Dump == nil {
+			continue // nothing harvested yet
+		}
+		names = append(names, s.Name)
+		cells = append(cells, s.Dump)
+	}
+	w.Header().Set("Content-Type", openMetricsContentType)
+	if len(cells) == 0 {
+		fmt.Fprintln(w, "# EOF")
+		return
+	}
+	if err := metrics.WriteOpenMetricsFleet(w, names, cells); err != nil {
+		// Headers are gone; nothing to do but note it mid-stream.
+		fmt.Fprintf(w, "# exposition aborted: %v\n", err)
+	}
+}
+
+func (f *Fleet) handleIncidents(w http.ResponseWriter, r *http.Request) {
+	cell := r.URL.Query().Get("cell")
+	openOnly := r.URL.Query().Get("open") == "1"
+	out := []CellIncident{}
+	for _, s := range f.Snapshots() {
+		if cell != "" && s.Name != cell {
+			continue
+		}
+		for _, in := range s.Incidents {
+			if openOnly && !in.Open() {
+				continue
+			}
+			out = append(out, CellIncident{Cell: s.Name, Incident: in})
+		}
+	}
+	// Across cells, order by onset time then cell for a stable feed.
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].OnsetStart != out[j].OnsetStart {
+			return out[i].OnsetStart < out[j].OnsetStart
+		}
+		return out[i].Cell < out[j].Cell
+	})
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(out)
+}
+
+func (f *Fleet) handleBottlenecks(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	top := 10
+	if s := q.Get("top"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			http.Error(w, fmt.Sprintf("bad top=%q", s), http.StatusBadRequest)
+			return
+		}
+		top = v
+	}
+	cell := q.Get("cell")
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	served := 0
+	for _, s := range f.Snapshots() {
+		if cell != "" && s.Name != cell {
+			continue
+		}
+		served++
+		if s.Dump == nil || s.Windows == 0 {
+			fmt.Fprintf(w, "== cell %s: no windows harvested yet\n", s.Name)
+			continue
+		}
+		fmt.Fprintf(w, "== cell %s\n", s.Name)
+		if ws := q.Get("window"); ws != "" {
+			win, err := strconv.Atoi(ws)
+			if err != nil || win < s.Dump.FirstWindow() || win >= s.Dump.Total() {
+				fmt.Fprintf(w, "window %q out of range [%d, %d)\n", ws, s.Dump.FirstWindow(), s.Dump.Total())
+				continue
+			}
+			fmt.Fprint(w, metrics.RenderWindow(s.Dump, win, top))
+		} else {
+			fmt.Fprint(w, metrics.BottleneckReport(s.Dump, top))
+		}
+	}
+	if cell != "" && served == 0 {
+		fmt.Fprintf(w, "no cell %q\n", cell)
+	}
+}
+
+func (f *Fleet) handleCells(w http.ResponseWriter, r *http.Request) {
+	snaps := f.Snapshots()
+	if snaps == nil {
+		snaps = []Snapshot{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(snaps)
+}

@@ -1,0 +1,243 @@
+// Package serve is the fleet scrape service: the live, concurrent read
+// side of the observability stack. Registries and monitors are
+// engine-local and single-goroutine by design — nothing in internal/
+// metrics or internal/anomaly takes a lock — so this package bridges
+// them to HTTP with a mirror: each experiment cell's OnHarvest hook
+// copies the freshly recorded window (and any new or still-open
+// incidents) into a mutex-guarded snapshot on the cell's own goroutine,
+// and the HTTP handlers read deep copies under the same lock. The
+// simulation never blocks on a scrape and a scrape never reads a
+// half-written window.
+//
+// A Fleet aggregates many cells — the parallel sweep cells of Figure 4
+// or Figure 5 — behind one endpoint set: Prometheus-style OpenMetrics
+// exposition (per-cell samples labeled cell="name"), the incidents JSON
+// feed, per-window bottleneck tables, and a cell status list.
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/anomaly"
+	"repro/internal/metrics"
+)
+
+// DefaultMaxWindows bounds the windows a cell mirror retains; older
+// windows age out exactly like the registry's own ring.
+const DefaultMaxWindows = 4096
+
+// Cell mirrors one experiment cell for concurrent scraping. Build it
+// with Fleet.Add (or AddStatic for an already-finished series) and
+// install the mirror with Observe before the cell's registry starts.
+type Cell struct {
+	name string
+	max  int
+
+	mu        sync.Mutex
+	dump      *metrics.Dump // grown one window per harvest; nil until the first
+	incidents []anomaly.Incident
+	openIdx   []int // incidents indices still open, refreshed each harvest
+	done      bool
+	err       string
+	result    string
+
+	reg *metrics.Registry
+	mon *anomaly.Monitor
+}
+
+// Name reports the cell's fleet-unique name.
+func (c *Cell) Name() string { return c.name }
+
+// Observe installs the cell's mirror on reg's harvest hook. Call it
+// after anomaly.Attach (observers run in attach order, and the mirror
+// wants each window's incidents already detected when it snapshots) and
+// before reg.Start. mon may be nil for an unmonitored cell.
+func (c *Cell) Observe(reg *metrics.Registry, mon *anomaly.Monitor) {
+	c.reg = reg
+	c.mon = mon
+	reg.OnHarvest(c.mirror)
+}
+
+// mirror runs on the cell's engine goroutine after each harvested
+// window: copy the new window's samples and catch up on incidents.
+func (c *Cell) mirror() {
+	w := c.reg.Total() - 1
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dump == nil {
+		c.dump = &metrics.Dump{
+			WindowPS:    int64(c.reg.Window()),
+			First:       w,
+			Instruments: make([]metrics.InstrumentDump, c.reg.NumInstruments()),
+		}
+		for i := range c.dump.Instruments {
+			d := c.reg.Desc(i)
+			c.dump.Instruments[i] = metrics.InstrumentDump{
+				Resource: d.Resource, Metric: d.Metric,
+				Family: d.Family, Unit: d.Unit, Kind: d.Kind.String(),
+			}
+		}
+	}
+	c.dump.StartsPS = append(c.dump.StartsPS, int64(c.reg.WindowStart(w)))
+	c.dump.EndsPS = append(c.dump.EndsPS, int64(c.reg.WindowEnd(w)))
+	for i := range c.dump.Instruments {
+		c.dump.Instruments[i].Samples = append(c.dump.Instruments[i].Samples, c.reg.Value(metrics.ID(i), w))
+	}
+	if n := len(c.dump.StartsPS); n > c.max {
+		cut := n - c.max
+		c.dump.StartsPS = c.dump.StartsPS[cut:]
+		c.dump.EndsPS = c.dump.EndsPS[cut:]
+		for i := range c.dump.Instruments {
+			c.dump.Instruments[i].Samples = c.dump.Instruments[i].Samples[cut:]
+		}
+		c.dump.First += cut
+		c.dump.Dropped += cut
+	}
+	if c.mon == nil {
+		return
+	}
+	// Refresh mirrored incidents that were open last time (severity grows
+	// and clears happen in place), then append the new ones.
+	still := c.openIdx[:0]
+	for _, i := range c.openIdx {
+		c.incidents[i] = c.mon.Incident(i)
+		if c.incidents[i].Open() {
+			still = append(still, i)
+		}
+	}
+	c.openIdx = still
+	for i := len(c.incidents); i < c.mon.NumIncidents(); i++ {
+		in := c.mon.Incident(i)
+		c.incidents = append(c.incidents, in)
+		if in.Open() {
+			c.openIdx = append(c.openIdx, i)
+		}
+	}
+}
+
+// Reset clears the mirror for a fresh run of the same cell — the -loop
+// mode of cmd/chipletserve, where each round rebuilds engine, registry
+// and monitor but the fleet (and the handler serving it) stays. Call it
+// before Observe-ing the new round's registry; scrapes between Reset and
+// the first new window see an empty, running cell.
+func (c *Cell) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dump = nil
+	c.incidents = nil
+	c.openIdx = nil
+	c.done = false
+	c.err = ""
+	c.result = ""
+}
+
+// Finish marks the cell's run complete. result is a one-line summary
+// (shown in /cells); err, if non-nil, marks the cell failed.
+func (c *Cell) Finish(result string, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.done = true
+	c.result = result
+	if err != nil {
+		c.err = err.Error()
+	}
+}
+
+// Snapshot is a cell's deep-copied scrape view: safe to read, render
+// and serialize with no lock held while the cell keeps harvesting.
+type Snapshot struct {
+	Name string `json:"name"`
+	// Dump is the mirrored series; nil before the first harvested window.
+	Dump      *metrics.Dump      `json:"-"`
+	Incidents []anomaly.Incident `json:"-"`
+	// Windows and NumIncidents summarize the mirror for the status list.
+	Windows      int    `json:"windows"`
+	NumIncidents int    `json:"incidents"`
+	OpenNow      int    `json:"open_incidents"`
+	Done         bool   `json:"done"`
+	Err          string `json:"error,omitempty"`
+	Result       string `json:"result,omitempty"`
+}
+
+// Snapshot deep-copies the cell's current state.
+func (c *Cell) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Snapshot{
+		Name:         c.name,
+		NumIncidents: len(c.incidents),
+		OpenNow:      len(c.openIdx),
+		Done:         c.done,
+		Err:          c.err,
+		Result:       c.result,
+	}
+	if c.dump != nil {
+		d := &metrics.Dump{
+			WindowPS: c.dump.WindowPS,
+			First:    c.dump.First,
+			Dropped:  c.dump.Dropped,
+			StartsPS: append([]int64(nil), c.dump.StartsPS...),
+			EndsPS:   append([]int64(nil), c.dump.EndsPS...),
+		}
+		d.Instruments = make([]metrics.InstrumentDump, len(c.dump.Instruments))
+		for i, in := range c.dump.Instruments {
+			in.Samples = append([]float64(nil), in.Samples...)
+			d.Instruments[i] = in
+		}
+		s.Dump = d
+		s.Windows = len(d.StartsPS)
+	}
+	if len(c.incidents) > 0 {
+		s.Incidents = make([]anomaly.Incident, len(c.incidents))
+		copy(s.Incidents, c.incidents)
+		for i := range s.Incidents {
+			s.Incidents[i].Bottlenecks = append([]metrics.Bottleneck(nil), s.Incidents[i].Bottlenecks...)
+		}
+	}
+	return s
+}
+
+// Fleet is a set of cells behind one scrape endpoint.
+type Fleet struct {
+	mu    sync.Mutex
+	cells []*Cell
+}
+
+// NewFleet builds an empty fleet.
+func NewFleet() *Fleet { return &Fleet{} }
+
+// Add registers a live cell. maxWindows bounds the mirror's retention;
+// <= 0 means DefaultMaxWindows.
+func (f *Fleet) Add(name string, maxWindows int) *Cell {
+	if maxWindows <= 0 {
+		maxWindows = DefaultMaxWindows
+	}
+	c := &Cell{name: name, max: maxWindows}
+	f.mu.Lock()
+	f.cells = append(f.cells, c)
+	f.mu.Unlock()
+	return c
+}
+
+// AddStatic registers an already-finished series — a dump loaded from
+// disk (chipletstat -serve) or a completed in-memory run — as a done
+// cell. incidents may be nil.
+func (f *Fleet) AddStatic(name string, d *metrics.Dump, incidents []anomaly.Incident) *Cell {
+	c := &Cell{name: name, max: DefaultMaxWindows, dump: d, incidents: incidents, done: true}
+	f.mu.Lock()
+	f.cells = append(f.cells, c)
+	f.mu.Unlock()
+	return c
+}
+
+// Snapshots deep-copies every cell, registration order.
+func (f *Fleet) Snapshots() []Snapshot {
+	f.mu.Lock()
+	cells := append([]*Cell(nil), f.cells...)
+	f.mu.Unlock()
+	out := make([]Snapshot, len(cells))
+	for i, c := range cells {
+		out[i] = c.Snapshot()
+	}
+	return out
+}

@@ -121,3 +121,26 @@ func ReadTraceEvents(r io.Reader) (*Loaded, error) {
 	sort.SliceStable(ld.Spans, func(i, j int) bool { return ld.Spans[i].Start < ld.Spans[j].Start })
 	return ld, nil
 }
+
+// SpansInWindow reports the loaded spans overlapping [start, end) — the
+// offline counterpart of Tracer.SpansInWindow, so a trace on disk can be
+// fused with a metrics window after the run (chiplettrace -from/-to).
+func (l *Loaded) SpansInWindow(start, end units.Time) []Span {
+	var out []Span
+	for _, s := range l.Spans {
+		if s.Start >= end {
+			break // spans are sorted by start; nothing later can overlap
+		}
+		if s.End > start {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Window restricts the loaded trace to the spans overlapping [start, end),
+// keeping the hop registry, so every Loaded report works on one harvest
+// window's slice of the flight.
+func (l *Loaded) Window(start, end units.Time) *Loaded {
+	return &Loaded{Hops: l.Hops, Spans: l.SpansInWindow(start, end)}
+}

@@ -400,6 +400,45 @@ func (t *Tracer) EachSpan(fn func(Span)) {
 	}
 }
 
+// SpansInWindow visits, oldest-first, the live spans overlapping the
+// half-open interval [start, end) — the window-indexed filter of the
+// trace-metrics fusion path. Keyed off a harvest window's [start, end)
+// stamps from internal/metrics, it returns exactly the spans of
+// transactions in flight during that window, turning a windowed verdict
+// ("umc0/rd saturated in window 41") into the cause-attributed spans
+// that crossed it. A span overlaps when it covers any time inside the
+// window (span.End > start && span.Start < end; boundary-touching spans
+// belong to the window they occupy, not the one they end at). Reports
+// the number of spans visited.
+func (t *Tracer) SpansInWindow(start, end units.Time, fn func(Span)) int {
+	n := 0
+	t.EachSpan(func(s Span) {
+		if s.End > start && s.Start < end {
+			if fn != nil {
+				fn(s)
+			}
+			n++
+		}
+	})
+	return n
+}
+
+// TxnsInWindow visits, oldest-first, the live transaction records whose
+// [Issued, Completed] lifetime overlaps [start, end) — the transactions
+// in flight during a harvest window. Reports the number visited.
+func (t *Tracer) TxnsInWindow(start, end units.Time, fn func(TxnRecord)) int {
+	n := 0
+	t.EachTxn(func(r TxnRecord) {
+		if r.Completed > start && r.Issued < end {
+			if fn != nil {
+				fn(r)
+			}
+			n++
+		}
+	})
+	return n
+}
+
 // EachTxn visits live transaction records oldest-first.
 func (t *Tracer) EachTxn(fn func(TxnRecord)) {
 	start := t.txnPos - t.txnN

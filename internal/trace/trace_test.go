@@ -217,3 +217,89 @@ func TestExportRoundTrip(t *testing.T) {
 		t.Fatalf("missing-txn detail wrong:\n%s", det)
 	}
 }
+
+// TestSpansInWindow: the window-indexed filter must return exactly the
+// spans overlapping a half-open [start, end) window — boundary-touching
+// spans belong to the window they occupy, not the one they end at.
+func TestSpansInWindow(t *testing.T) {
+	tr := New(Config{SpanCap: 16, TxnCap: 8})
+	hop := tr.RegisterHop("umc0/rd", KindChannel)
+	tr.Enable()
+	tr.SetActive(1)
+	tr.Range(hop, CauseQueued, 0, 10)      // ends at window start: excluded
+	tr.Range(hop, CauseSerializing, 5, 15) // straddles the start: included
+	tr.Range(hop, CauseQueued, 12, 18)     // inside: included
+	tr.Range(hop, CauseProcessing, 18, 30) // straddles the end: included
+	tr.Range(hop, CauseService, 20, 25)    // starts at window end: excluded
+	tr.Range(hop, CauseQueued, 2, 40)      // covers the whole window: included
+	tr.EndTxn(1, 0, 40)
+	tr.SetActive(2)
+	tr.Range(hop, CauseQueued, 30, 35) // after the window: excluded
+	tr.EndTxn(2, 30, 35)
+
+	var got []Span
+	n := tr.SpansInWindow(10, 20, func(s Span) { got = append(got, s) })
+	if n != 4 || len(got) != 4 {
+		t.Fatalf("SpansInWindow visited %d spans (%d collected), want 4", n, len(got))
+	}
+	for _, s := range got {
+		if s.End <= 10 || s.Start >= 20 {
+			t.Errorf("span [%v,%v) does not overlap window [10,20)", s.Start, s.End)
+		}
+	}
+	// Verdict check against the brute-force sweep over every live span.
+	want := 0
+	tr.EachSpan(func(s Span) {
+		if s.End > 10 && s.Start < 20 {
+			want++
+		}
+	})
+	if n != want {
+		t.Fatalf("SpansInWindow = %d spans, brute-force overlap = %d", n, want)
+	}
+
+	if n := tr.TxnsInWindow(10, 20, nil); n != 1 {
+		t.Fatalf("TxnsInWindow visited %d records, want 1 (txn 1 in flight)", n)
+	}
+	if n := tr.TxnsInWindow(30, 40, nil); n != 2 {
+		t.Fatalf("TxnsInWindow(30,40) visited %d records, want 2", n)
+	}
+}
+
+// TestLoadedSpansInWindow: the offline filter must agree with the live
+// one after a JSON round trip.
+func TestLoadedSpansInWindow(t *testing.T) {
+	tr := New(Config{SpanCap: 16, TxnCap: 8})
+	hop := tr.RegisterHop("umc0/rd", KindChannel)
+	tr.Enable()
+	tr.SetActive(9)
+	tr.Range(hop, CauseQueued, 0, 10)
+	tr.Range(hop, CauseSerializing, 8, 25)
+	tr.Range(hop, CauseService, 25, 30)
+	tr.EndTxn(9, 0, 30)
+
+	var buf bytes.Buffer
+	if err := tr.WriteTraceEvents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ld, err := ReadTraceEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ld.SpansInWindow(10, 26)
+	var want []Span
+	tr.SpansInWindow(10, 26, func(s Span) { want = append(want, s) })
+	if len(got) != len(want) {
+		t.Fatalf("loaded filter found %d spans, live filter %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("span %d: loaded %+v vs live %+v", i, got[i], want[i])
+		}
+	}
+	win := ld.Window(10, 26)
+	if len(win.Spans) != len(got) || len(win.Hops) != len(ld.Hops) {
+		t.Fatalf("Window view: %d spans %d hops, want %d spans %d hops",
+			len(win.Spans), len(win.Hops), len(got), len(ld.Hops))
+	}
+}
