@@ -75,14 +75,24 @@ if echo "$bench" | grep 'BenchmarkEngine' | grep -qv ' 0 allocs/op'; then
 fi
 
 # The conservative cluster's epoch barrier must not allocate either:
-# mailbox buffers and the active list are reused, and worker goroutines
-# persist across runs instead of respawning.
+# mailbox buffers and the active list are reused, worker goroutines
+# persist across runs instead of respawning, and the adaptive bound
+# negotiation (distance matrix, slack sampling, EWMA) is flat arithmetic.
 bench=$(go test ./internal/sim/ -run '^$' -bench 'BenchmarkEpochBarrier' -benchtime 2000x)
 echo "$bench"
 if echo "$bench" | grep 'BenchmarkEpochBarrier' | grep -qv ' 0 allocs/op'; then
     echo "epoch barrier allocates on the steady-state path" >&2
     exit 1
 fi
+
+# Cluster-overhead gate: pinned to one processor, the partitioned engine's
+# epoch machinery (bound negotiation, batched mailbox drains, the serial
+# dispatch auto-degrade selects) must keep the full 7302 inter-CC IF cell
+# within 1.15x of the -domains 1 wall clock. The -race leg above already
+# covers the batched-mailbox drain path (TestDomainsCellRace and
+# TestEpochMailboxRace run the worker barrier with the race detector on);
+# this leg is about cost, so it runs uninstrumented.
+CHIPLET_CLUSTER_GATE=1 GOMAXPROCS=1 go test ./internal/harness/ -run TestClusterOverheadGate -v -count=1 -timeout 600s
 
 # The whole transaction pipeline must be allocation-free in steady state:
 # every DestKind x Op case, unloaded and loaded.

@@ -42,13 +42,24 @@ type benchReport struct {
 }
 
 // cellThroughput is one cell-level throughput row: a full Figure 4 cell
-// timed end to end at a fixed domain-worker count.
+// timed end to end at a fixed domain-worker count. GoMaxProcs is stamped
+// per row so single-core and multi-core trajectories are distinguishable;
+// Epochs/EventsPerEpoch/SerialEpochShare expose the adaptive epoch
+// scheduler's coordination cost (how much work each barrier buys, and how
+// often auto-degrade chose the serial fast path).
 type cellThroughput struct {
-	Domains      int     `json:"domains"`
-	Seconds      float64 `json:"seconds"`
-	Events       uint64  `json:"events"`
-	EventsPerSec float64 `json:"events_per_sec"`
-	Speedup      float64 `json:"speedup_vs_serial"`
+	Domains          int     `json:"domains"`
+	GoMaxProcs       int     `json:"gomaxprocs"`
+	Seconds          float64 `json:"seconds"`
+	Events           uint64  `json:"events"`
+	EventsPerSec     float64 `json:"events_per_sec"`
+	Speedup          float64 `json:"speedup_vs_serial"`
+	Epochs           uint64  `json:"epochs"`
+	EventsPerEpoch   float64 `json:"events_per_epoch"`
+	SerialEpochShare float64 `json:"serial_epoch_share"`
+	MailboxPosts     uint64  `json:"mailbox_posts"`
+	Degrades         uint64  `json:"degrades"`
+	Expands          uint64  `json:"expands"`
 }
 
 // benchCellThroughput times one full Figure 4 cell — the 7302 inter-CC
@@ -69,22 +80,32 @@ func benchCellThroughput() ([]cellThroughput, error) {
 	for _, d := range []int{1, 2, 4} {
 		opt := harness.Options{Seed: 42, TimeScale: 1, Domains: d}
 		start := time.Now()
-		_, events, err := harness.Figure4CellThroughput(sc, c, opt)
+		_, perf, err := harness.Figure4CellThroughput(sc, c, opt)
 		if err != nil {
 			return nil, err
 		}
 		secs := time.Since(start).Seconds()
-		eps := float64(events) / secs
+		eps := float64(perf.Events) / secs
 		if d == 1 {
 			serial = eps
 		}
+		cs := perf.Cluster
 		row := cellThroughput{
-			Domains: d, Seconds: secs, Events: events,
+			Domains: d, GoMaxProcs: runtime.GOMAXPROCS(0),
+			Seconds: secs, Events: perf.Events,
 			EventsPerSec: eps, Speedup: eps / serial,
+			Epochs:       cs.Epochs,
+			MailboxPosts: cs.Posted,
+			Degrades:     cs.Degrades,
+			Expands:      cs.Expands,
+		}
+		if cs.Epochs > 0 {
+			row.EventsPerEpoch = float64(perf.Events) / float64(cs.Epochs)
+			row.SerialEpochShare = float64(cs.SerialEpochs) / float64(cs.Epochs)
 		}
 		out = append(out, row)
-		fmt.Printf("CellThroughput domains=%d  %.2fs  %d events  %.0f events/s  %.2fx\n",
-			d, secs, events, eps, row.Speedup)
+		fmt.Printf("CellThroughput domains=%d  %.2fs  %d events  %.0f events/s  %.2fx  %d epochs  %.0f ev/epoch  %.0f%% serial-dispatch\n",
+			d, secs, perf.Events, eps, row.Speedup, cs.Epochs, row.EventsPerEpoch, 100*row.SerialEpochShare)
 	}
 	return out, nil
 }

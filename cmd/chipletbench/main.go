@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/profile"
+	"repro/internal/profiling"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/traffic"
@@ -46,7 +47,19 @@ func main() {
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	showProfile := flag.Bool("profile", false, "print a per-flow profile report")
 	benchOut := flag.String("bench", "", "run the scheduler benchmark suite and write results to this JSON file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof allocation profile (post-GC heap) to this file")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	if *benchOut != "" {
 		if err := runBenchSuite(*benchOut); err != nil {

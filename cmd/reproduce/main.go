@@ -44,6 +44,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/metrics"
+	"repro/internal/profiling"
 	"repro/internal/topology"
 	"repro/internal/units"
 )
@@ -67,7 +68,19 @@ func main() {
 	statsWindow := flag.Duration("stats-window", 100*time.Microsecond, "harvest window in simulated time (100us = the paper's 100 ms at 1:1000)")
 	statsFormat := flag.String("stats-format", "json", "-stats export format: json, openmetrics or csv")
 	statsTop := flag.Int("stats-top", 5, "rows in the live per-window bottleneck view (0 disables live output)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof allocation profile (post-GC heap) to this file")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	opt := harness.Options{Seed: *seed, TimeScale: *scale, Workers: *workers, Domains: *domains}
 	if *traceFile != "" {

@@ -81,15 +81,17 @@ type Network struct {
 	prof *topology.Profile
 
 	// Partitioned mode: the cluster, one zone per CCD plus the hub zone
-	// (index hubZi) owning the I/O die. xfer is the epoch-crossing
-	// retiming shift — the lookahead — moved from the modelled CCM stage
-	// onto cross-domain response legs so every crossing lands outside the
-	// conservative window while end-to-end path latency is unchanged.
-	// Classic mode: cl is nil, zones has one entry, hubZi and xfer are 0.
+	// (index hubZi) owning the I/O die. plan is the lookahead retiming
+	// budget (see planPartition): every cross-domain leg is stretched to
+	// the negotiated lookahead and the stretch is paid back out of the
+	// path's deterministic domain-local legs, so end-to-end latency is
+	// preserved while epochs span several times the raw link latency.
+	// Classic mode: cl is nil, zones has one entry, and plan carries the
+	// profile's unshifted constants (classicPlan).
 	cl      *sim.Cluster
 	zones   []*zone
 	hubZi   int
-	xfer    units.Time
+	plan    retimePlan
 	postHub []func(units.Time, func()) // hub -> per-CCD cross-domain posts
 
 	noc   *mesh.NoC
@@ -150,21 +152,152 @@ func New(eng *sim.Engine, prof *topology.Profile) *Network {
 	n := &Network{
 		eng:   eng,
 		prof:  prof,
+		plan:  classicPlan(prof),
 		zones: []*zone{{eng: eng}},
 	}
 	n.build()
 	return n
 }
 
+// retimePlan is a network's cross-domain latency budget: which modelled
+// leg carries how much of each path's deterministic latency, after the
+// epoch-crossing legs have been stretched to the conservative lookahead.
+// Both modes walk the same plan-driven formulas; classicPlan holds the
+// profile's unshifted constants so classic networks reproduce the
+// original math bit-for-bit, and planPartition redistributes the budget
+// so every cross-domain delivery provably lands outside the epoch window
+// while end-to-end path latency is unchanged.
+type retimePlan struct {
+	// look is the cluster lookahead — the floor under every cross-domain
+	// delivery, and the stretch applied to each crossing. 0 in classic
+	// mode (there are no crossings to stretch).
+	look units.Time
+	// gmiLat is the GMI out-bundle's propagation latency. Classic: the
+	// profile's GMILinkLatency. Partitioned: look, since the bundle's
+	// deliveries ride the epoch mailbox.
+	gmiLat units.Time
+	// ccmDRAM/ccmCXL/ccmInter are the CCM handling legs of the three
+	// hub-bound paths — the first legs to give up budget to the stretched
+	// crossings (classic: all CacheMissBase).
+	ccmDRAM  units.Time
+	ccmCXL   units.Time
+	ccmInter units.Time
+	// dramShift/cxlShift come off the device service legs once the CCM
+	// leg is exhausted; planPartition proves them no larger than the
+	// device's deterministic base latency (classic: 0).
+	dramShift units.Time
+	cxlShift  units.Time
+	// interExtra and interL3 are the inter-CC path's remaining budget:
+	// the deterministic slack beyond the explicitly modelled legs, and
+	// the remote LLC lookup leg (classic: the profile's values).
+	interExtra units.Time
+	interL3    units.Time
+}
+
+// interHopBase is the inter-CC path's deterministic latency beyond the
+// explicitly modelled legs (CCM, two GMI crossings, remote LLC lookup).
+func interHopBase(p *topology.Profile) units.Time {
+	base := p.InterCCLatency - p.CacheMissBase - 2*p.GMILinkLatency - p.L3Latency
+	if base < 0 {
+		base = 0
+	}
+	return base
+}
+
+// classicPlan carries the profile's constants unshifted.
+func classicPlan(p *topology.Profile) retimePlan {
+	return retimePlan{
+		look:       0,
+		gmiLat:     p.GMILinkLatency,
+		ccmDRAM:    p.CacheMissBase,
+		ccmCXL:     p.CacheMissBase,
+		ccmInter:   p.CacheMissBase,
+		interExtra: interHopBase(p),
+		interL3:    p.L3Latency,
+	}
+}
+
+// planPartition negotiates the largest lookahead the profile's path
+// budgets can fund, then allocates the stretch each path must pay back.
+//
+// Relative to classic, a partitioned path gains look-G per GMI-out
+// crossing (the bundle's latency is raised from G to look) plus look per
+// hub->CCD handoff (response and inter-CC forward crossings, which
+// classic delivers instantly relative to their producing leg). The DRAM
+// and CXL paths cross twice (debt 2*look-G), the inter-CC path four
+// times (debt 4*look-2G). Each path repays its debt from its own
+// deterministic domain-local legs — CCM handling first, then the device
+// service base or the inter-CC slack and LLC legs — so the largest
+// feasible lookahead is the smallest per-path cap:
+//
+//	dram:  2*look-G <= CacheMissBase + DRAMLatency
+//	cxl:   2*look-G <= CacheMissBase + CXLDeviceLatency  (if modules exist)
+//	inter: 4*look-2G <= CacheMissBase + interHopBase + L3Latency
+//
+// The result is floored at G (never worse than the raw-link lookahead)
+// and, on both modelled EPYC profiles, lands at InterCCLatency/4 — 33.5ns
+// on the 7302 and 37.5ns on the 9634 versus the 9ns GMI latency, cutting
+// epoch count by the same factor before idle-skip and backlog slack
+// stretch epochs further.
+func planPartition(p *topology.Profile) retimePlan {
+	g, c := p.GMILinkLatency, p.CacheMissBase
+	hopBase := interHopBase(p)
+	look := (c + g + p.DRAMLatency) / 2
+	if p.CXLModules > 0 {
+		if cap := (c + g + p.CXLDeviceLatency) / 2; cap < look {
+			look = cap
+		}
+	}
+	if cap := (c + hopBase + p.L3Latency + 2*g) / 4; cap < look {
+		look = cap
+	}
+	if look < g {
+		look = g
+	}
+	pl := retimePlan{look: look, gmiLat: look}
+	pay := func(leg, debt units.Time) (units.Time, units.Time) {
+		if leg >= debt {
+			return leg - debt, 0
+		}
+		return 0, debt - leg
+	}
+	// Hub-bound device paths: one GMI-out crossing + one response handoff.
+	var debt units.Time
+	pl.ccmDRAM, debt = pay(c, 2*look-g)
+	pl.dramShift = debt
+	if pl.dramShift > p.DRAMLatency {
+		panic("core: partition plan overdraws the DRAM service leg")
+	}
+	if p.CXLModules > 0 {
+		pl.ccmCXL, debt = pay(c, 2*look-g)
+		pl.cxlShift = debt
+		if pl.cxlShift > p.CXLDeviceLatency {
+			panic("core: partition plan overdraws the CXL service leg")
+		}
+	} else {
+		pl.ccmCXL = c
+	}
+	// Inter-CC: two GMI-out crossings + the forward handoff into the
+	// target chiplet + the response handoff.
+	pl.ccmInter, debt = pay(c, 4*look-2*g)
+	pl.interExtra, debt = pay(hopBase, debt)
+	pl.interL3, debt = pay(p.L3Latency, debt)
+	if debt != 0 {
+		panic("core: partition plan overdraws the inter-CC path")
+	}
+	return pl
+}
+
 // NewPartitioned assembles a domain-partitioned network on a sim.Cluster:
 // one domain per CCD owning that chiplet's channels, token pools and
 // issuing state, plus a hub domain owning the I/O die (NoC, UMCs, CXL
-// modules). The lookahead is the GMI link latency — the minimum latency of
-// any inter-domain link, since every CCD<->hub crossing rides a GMI
-// bundle. workers bounds how many domains run concurrently; it does not
-// affect results (the partition, and therefore every RNG stream and event
-// order, is fixed by the topology). Call Close when done to release the
-// cluster's worker goroutines.
+// modules). The lookahead is the retiming plan's negotiated budget
+// (planPartition) — several times the raw GMI latency, with the stretch
+// repaid out of each path's domain-local legs. workers bounds how many
+// domains run concurrently; it does not affect results (the partition,
+// and therefore every RNG stream and event order, is fixed by the
+// topology). Call Close when done to release the cluster's worker
+// goroutines.
 func NewPartitioned(seed uint64, prof *topology.Profile, workers int) *Network {
 	if err := prof.Validate(); err != nil {
 		panic(err.Error())
@@ -172,12 +305,13 @@ func NewPartitioned(seed uint64, prof *topology.Profile, workers int) *Network {
 	if prof.GMILinkLatency <= 0 {
 		panic("core: profile GMI latency is zero; no conservative lookahead")
 	}
-	cl := sim.NewCluster(seed, prof.CCDs+1, prof.GMILinkLatency, workers)
+	plan := planPartition(prof)
+	cl := sim.NewCluster(seed, prof.CCDs+1, plan.look, workers)
 	n := &Network{
 		prof:  prof,
 		cl:    cl,
 		hubZi: prof.CCDs,
-		xfer:  prof.GMILinkLatency,
+		plan:  plan,
 	}
 	for zi := 0; zi <= prof.CCDs; zi++ {
 		n.zones = append(n.zones, &zone{
@@ -189,8 +323,14 @@ func NewPartitioned(seed uint64, prof *topology.Profile, workers int) *Network {
 	for ccd := 0; ccd < prof.CCDs; ccd++ {
 		// Requests cross CCD -> hub on the GMI out bundle, whose own
 		// latency equals the lookahead, so rerouting its deliveries
-		// through the mailbox never violates the epoch horizon.
+		// through the mailbox never violates the epoch horizon. The
+		// bundle is also the one serializer every hub-bound crossing out
+		// of the chiplet rides, so its backlog high-water mark is a valid
+		// earliest-output floor for the whole domain: registering it as
+		// the zone's slack lets its neighbours run through the backlog's
+		// shadow instead of stopping at nextEvent+lookahead.
 		n.gmiOut[ccd].SetPost(cl.Poster(ccd, n.hubZi))
+		cl.SetSlack(ccd, n.gmiOut[ccd].NextFree)
 		n.postHub = append(n.postHub, cl.Poster(n.hubZi, ccd))
 	}
 	return n
@@ -221,7 +361,7 @@ func (n *Network) build() {
 		n.gmiIn = append(n.gmiIn, link.NewChannel(eng, name+"/gmi/in",
 			p.GMIReadCap, 0, 0))
 		n.gmiOut = append(n.gmiOut, link.NewChannel(eng, name+"/gmi/out",
-			p.GMIWriteCap, p.GMILinkLatency, p.GMIWriteQueue))
+			p.GMIWriteCap, n.plan.gmiLat, p.GMIWriteQueue))
 		n.intraIn = append(n.intraIn, link.NewChannel(eng, name+"/if/in",
 			p.IntraCCReadCap, 0, 0))
 		n.intraOut = append(n.intraOut, link.NewChannel(eng, name+"/if/out",
@@ -429,6 +569,15 @@ func (n *Network) Runner() Runner {
 
 // Cluster reports the partition cluster, nil for classic networks.
 func (n *Network) Cluster() *sim.Cluster { return n.cl }
+
+// ClusterStats reports the partition cluster's epoch counters, zero for
+// classic networks (no epochs, no barriers).
+func (n *Network) ClusterStats() sim.ClusterStats {
+	if n.cl == nil {
+		return sim.ClusterStats{}
+	}
+	return n.cl.Stats()
+}
 
 // Close releases the cluster's worker goroutines; a no-op for classic
 // networks. The network must not run again afterwards.

@@ -162,11 +162,15 @@ func (w *walker) pathStep() {
 // constants (sampling jitter exactly where the closure walkers did) and
 // performs the path's first action.
 //
-// In partitioned mode the paths that cross domains shift n.xfer (the
-// lookahead) out of the CCM stage here and back onto their cross-domain
-// response legs, so every mailbox delivery provably lands outside the
-// conservative epoch while the end-to-end path latency is bit-for-bit
-// what the classic single-engine model produces.
+// In partitioned mode the paths that cross domains are retimed by the
+// network's plan (see planPartition): each crossing is stretched to the
+// negotiated lookahead, and the stretch is repaid here out of the path's
+// deterministic domain-local legs — CCM handling first, then the device
+// service base or the inter-CC slack and LLC legs — so every mailbox
+// delivery provably lands outside the conservative epoch while the
+// end-to-end path latency is bit-for-bit what the classic single-engine
+// model produces. In classic mode the plan carries the profile's
+// constants unshifted and these are the original formulas.
 func (w *walker) enterPath() {
 	n, p, a := w.n, w.n.prof, w.a
 	z := n.zones[w.zi]
@@ -176,11 +180,11 @@ func (w *walker) enterPath() {
 	case DestDRAM:
 		w.shops = n.noc.MemoryHopDelay(a.Src.CCD, a.UMC)
 		w.hopExtra = w.shops + p.CSLatency
-		z.eng.After(p.CacheMissBase-n.xfer, w.stepFn)
+		z.eng.After(n.plan.ccmDRAM, w.stepFn)
 	case DestCXL:
 		w.shops = n.noc.IOHopDelay(a.Src.CCD)
 		w.hopExtra = w.shops + p.IOHubLatency + p.RootComplexLatency
-		z.eng.After(p.CacheMissBase-n.xfer, w.stepFn)
+		z.eng.After(n.plan.ccmCXL, w.stepFn)
 	case DestLLCIntra:
 		w.hopExtra = p.IntraCCLatency + z.llcJitter.Sample()
 		if a.Op == txn.NTWrite {
@@ -191,19 +195,15 @@ func (w *walker) enterPath() {
 	case DestLLCInter:
 		// The deterministic latency budget beyond the explicitly modelled
 		// legs (GMI crossings and the remote LLC lookup), plus coherence
-		// jitter. The inter-CC path crosses domains twice beyond the DRAM
-		// path's one, so it gives up a second transfer shift here.
-		extra := p.InterCCLatency - p.CacheMissBase - 2*p.GMILinkLatency - p.L3Latency - n.xfer
-		if extra < 0 {
-			extra = 0
-		}
-		w.hopExtra = extra + z.llcJitter.Sample()
+		// jitter. The inter-CC path crosses domains four times, so it
+		// repays the largest share of the lookahead stretch.
+		w.hopExtra = n.plan.interExtra + z.llcJitter.Sample()
 		if a.Op == txn.NTWrite {
 			w.respSize = p.WriteAckSize
 		} else {
 			w.respSize = units.CacheLine
 		}
-		z.eng.After(p.CacheMissBase-n.xfer, w.stepFn)
+		z.eng.After(n.plan.ccmInter, w.stepFn)
 	}
 }
 
@@ -243,14 +243,14 @@ func (w *walker) attempt() {
 
 // respondNoC sends a response across the NoC read channel back toward the
 // source chiplet. In partitioned mode that delivery crosses hub -> source
-// domain: it rides the mailbox with the transfer shift added — the shift
-// the source's CCM stage gave up in enterPath — so it provably lands
+// domain: it rides the mailbox with the lookahead added — stretch the
+// path's plan repaid out of its domain-local legs — so it provably lands
 // outside the epoch and the end-to-end latency is unchanged.
 func (w *walker) respondNoC(size units.ByteSize) {
 	n := w.n
 	if zi := n.zoneOf(w.a.Src.CCD); zi != w.zi {
 		w.zi = zi
-		n.noc.Read.SendPost(size, n.xfer, w.stepFn, n.postHub[w.a.Src.CCD])
+		n.noc.Read.SendPost(size, n.plan.look, w.stepFn, n.postHub[w.a.Src.CCD])
 		return
 	}
 	n.noc.Read.Send(size, w.stepFn)
@@ -330,9 +330,12 @@ func (w *walker) stepDRAM() {
 		if nt {
 			dram.Write.Send(units.CacheLine, w.stepFn)
 		} else {
+			// The service leg repays the plan's remaining stretch; the
+			// shift never exceeds the deterministic DRAMLatency base, so
+			// the jittered access time always covers it (0 in classic).
 			access := dram.AccessTime()
 			n.trAfter(dram.ServiceHop(), trace.CauseService, access)
-			n.zones[w.zi].eng.After(access, w.stepFn)
+			n.zones[w.zi].eng.After(access-n.plan.dramShift, w.stepFn)
 		}
 	case 4:
 		n.trSet(w.id)
@@ -340,7 +343,7 @@ func (w *walker) stepDRAM() {
 		if nt {
 			access := dram.AccessTime()
 			n.trAfter(dram.ServiceHop(), trace.CauseService, access)
-			n.zones[w.zi].eng.After(access, w.stepFn)
+			n.zones[w.zi].eng.After(access-n.plan.dramShift, w.stepFn)
 		} else {
 			dram.Read.Send(units.CacheLine, w.stepFn)
 		}
@@ -440,7 +443,7 @@ func (w *walker) stepCXL() {
 		access := mod.AccessTime()
 		n.trAfter(mod.ServiceHop(), trace.CauseService, access)
 		w.state = 5
-		n.zones[w.zi].eng.After(access, w.stepFn)
+		n.zones[w.zi].eng.After(access-n.plan.cxlShift, w.stepFn)
 	case 5:
 		n.trSet(w.id)
 		w.state = 6
@@ -526,9 +529,9 @@ func (w *walker) stepLLCInter() {
 		w.state = 30
 		if zi := n.zoneOf(dst); zi != w.zi {
 			// The request enters the target chiplet's domain: hand the
-			// walker across one transfer shift later, the shift enterPath
-			// withheld from the latency budget.
-			at := n.zones[w.zi].eng.Now() + n.xfer
+			// walker across one lookahead later, stretch the plan
+			// withheld from the path's latency budget.
+			at := n.zones[w.zi].eng.Now() + n.plan.look
 			w.zi = zi
 			n.postHub[dst](at, w.stepFn)
 		} else {
@@ -546,7 +549,7 @@ func (w *walker) stepLLCInter() {
 		n.trSet(w.id)
 		n.trAfter(n.llcHop(dst), trace.CauseProcessing, p.L3Latency)
 		w.state = 5
-		n.zones[w.zi].eng.After(p.L3Latency, w.stepFn)
+		n.zones[w.zi].eng.After(n.plan.interL3, w.stepFn)
 	case 5:
 		n.trSet(w.id)
 		w.state = 6

@@ -2,7 +2,11 @@ package harness
 
 import (
 	"bytes"
+	"math"
+	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/units"
@@ -101,5 +105,43 @@ func TestDomainsCellRace(t *testing.T) {
 	}
 	if res.AchievedA <= 0 || res.AchievedB <= 0 {
 		t.Errorf("partitioned cell produced no throughput: %+v", res)
+	}
+}
+
+// TestClusterOverheadGate is the wall-clock half of the adaptive epoch
+// scheduler's contract, run from ci.sh with GOMAXPROCS=1 and
+// CHIPLET_CLUSTER_GATE=1: on a single processor the partitioned engine
+// cannot win, so the epoch machinery — bound negotiation, batched drains,
+// the degraded serial dispatch auto-degrade picks — must cost almost
+// nothing over the serial schedule. The budget is 1.15x the -domains 1
+// wall clock for the full 7302 inter-CC IF cell, best of two runs each
+// to shave scheduler noise.
+func TestClusterOverheadGate(t *testing.T) {
+	if os.Getenv("CHIPLET_CLUSTER_GATE") == "" {
+		t.Skip("set CHIPLET_CLUSTER_GATE=1 (and GOMAXPROCS=1) to run the cluster-overhead wall-clock gate")
+	}
+	sc := Figure4Scenarios()[3]
+	c := Fig4Cases()[2]
+	best := func(domains int) float64 {
+		b := math.Inf(1)
+		for i := 0; i < 2; i++ {
+			opt := Options{Seed: 42, TimeScale: 4, Domains: domains}
+			start := time.Now()
+			if _, _, err := Figure4CellThroughput(sc, c, opt); err != nil {
+				t.Fatalf("domains=%d: %v", domains, err)
+			}
+			if s := time.Since(start).Seconds(); s < b {
+				b = s
+			}
+		}
+		return b
+	}
+	serial := best(1)
+	par := best(4)
+	ratio := par / serial
+	t.Logf("domains=1 %.3fs  domains=4 %.3fs  ratio %.3fx (GOMAXPROCS=%d)",
+		serial, par, ratio, runtime.GOMAXPROCS(0))
+	if ratio > 1.15 {
+		t.Fatalf("-domains 4 wall clock is %.3fx the serial run (budget 1.15x)", ratio)
 	}
 }

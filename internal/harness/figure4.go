@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/metrics"
+	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/traffic"
@@ -143,10 +144,21 @@ func figure4CellObserved(sc Fig4Scenario, c Fig4Case, opt Options, tr *trace.Tra
 	return res, err
 }
 
-// figure4CellCounted additionally reports the number of simulation
-// events executed over the whole cell (warmup included) — the numerator
-// of the events/sec cell-throughput benchmark in cmd/chipletbench.
-func figure4CellCounted(sc Fig4Scenario, c Fig4Case, opt Options, tr *trace.Tracer, reg *metrics.Registry) (Fig4Result, uint64, error) {
+// CellPerf is a cell's execution-cost readout: how many simulation
+// events it ran, and — when it ran partitioned — the cluster's epoch
+// counters, the denominator side of the events-per-epoch picture the
+// adaptive epoch scheduler is judged on. Partitioned is false for a
+// classic single-engine cell, whose Cluster counters are all zero.
+type CellPerf struct {
+	Events      uint64
+	Partitioned bool
+	Cluster     sim.ClusterStats
+}
+
+// figure4CellCounted additionally reports the cell's execution-cost
+// readout (warmup included) — the numerators and denominators of the
+// cell-throughput benchmark in cmd/chipletbench.
+func figure4CellCounted(sc Fig4Scenario, c Fig4Case, opt Options, tr *trace.Tracer, reg *metrics.Registry) (Fig4Result, CellPerf, error) {
 	p := sc.Profile()
 	// A traced cell pins the classic build: exact span tiling needs the
 	// single-engine event order (core.AttachTracer enforces this).
@@ -163,11 +175,11 @@ func figure4CellCounted(sc Fig4Scenario, c Fig4Case, opt Options, tr *trace.Trac
 	cfgB.Demand = units.Bandwidth(float64(sc.Capacity) * c.FracB)
 	fa, err := traffic.NewFlow(net, cfgA)
 	if err != nil {
-		return Fig4Result{}, 0, err
+		return Fig4Result{}, CellPerf{}, err
 	}
 	fb, err := traffic.NewFlow(net, cfgB)
 	if err != nil {
-		return Fig4Result{}, 0, err
+		return Fig4Result{}, CellPerf{}, err
 	}
 	fa.Start()
 	fb.Start()
@@ -190,19 +202,24 @@ func figure4CellCounted(sc Fig4Scenario, c Fig4Case, opt Options, tr *trace.Trac
 	if tr != nil {
 		tr.Disable()
 	}
+	perf := CellPerf{
+		Events:      net.EventsExecuted(),
+		Partitioned: net.Cluster() != nil,
+		Cluster:     net.ClusterStats(),
+	}
 	return Fig4Result{
 		Profile: p.Name, Link: sc.Link, Case: c.Name,
 		DemandA: cfgA.Demand, DemandB: cfgB.Demand,
 		AchievedA: fa.Achieved(), AchievedB: fb.Achieved(),
 		Capacity: sc.Capacity,
-	}, net.EventsExecuted(), nil
+	}, perf, nil
 }
 
 // Figure4CellThroughput runs one (scenario, case) cell at full length and
-// reports its result plus the events executed — the cell-level
+// reports its result plus the execution-cost readout — the cell-level
 // throughput probe behind cmd/chipletbench's serial-vs-domains speedup
 // numbers.
-func Figure4CellThroughput(sc Fig4Scenario, c Fig4Case, opt Options) (Fig4Result, uint64, error) {
+func Figure4CellThroughput(sc Fig4Scenario, c Fig4Case, opt Options) (Fig4Result, CellPerf, error) {
 	return figure4CellCounted(sc, c, opt, nil, nil)
 }
 

@@ -188,6 +188,13 @@ func (c *Channel) enqueuePost(size units.ByteSize, extra units.Time, deliver fun
 	}
 }
 
+// NextFree reports the absolute time the serializer finishes its current
+// backlog: no message accepted from now on can start service — let alone
+// deliver — before it. The partitioned engine samples it at epoch
+// barriers as a conservative floor on this channel's next cross-domain
+// delivery (it is monotone non-decreasing, which that use relies on).
+func (c *Channel) NextFree() units.Time { return c.nextFree }
+
 // QueueDelay reports how long a message accepted now would wait before
 // starting service: the current backlog of the serializer.
 func (c *Channel) QueueDelay() units.Time {

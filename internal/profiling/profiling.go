@@ -1,0 +1,55 @@
+// Package profiling backs the -cpuprofile/-memprofile flags shared by
+// the repro commands (cmd/reproduce, cmd/chipletbench): standard pprof
+// capture so performance work can attach CPU and allocation evidence to
+// a run without every main duplicating the file/flush choreography.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling per the two flag values; empty paths disable
+// the corresponding profile. It returns a stop function that must be
+// called exactly once, after the measured work: it stops the CPU profile
+// and writes the allocation profile (after a final GC, so the heap
+// snapshot reflects live steady-state memory rather than collectable
+// garbage). Inspect the outputs with `go tool pprof`.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("mem profile: %w", err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("mem profile: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -3,33 +3,62 @@
 // cross-domain observers — in lockstep epochs under conservative
 // time-window synchronization.
 //
-// The safe window is the cluster's lookahead L: the minimum latency of any
-// inter-domain link. Any event a domain executes at time t can affect
-// another domain no earlier than t+L, so all domains may process the
-// window [E, E+L) — E being the earliest pending event anywhere — without
-// seeing each other's effects. Cross-domain effects travel through
-// per-(src,dst) SPSC mailboxes: a domain posts (time, callback) entries
-// while it runs its window, and the coordinator drains every mailbox at
-// the epoch barrier, in a fixed (destination, source, FIFO) order, onto
-// the destination engine's calendar. Because the destination engine's
-// (timestamp, sequence) tie-break then orders them exactly as they were
-// inserted, the merged schedule — and therefore every RNG draw and every
-// result — is identical whether domains ran on one worker goroutine or
-// many. TestClusterDeterminism and the harness domain guards hold the
-// cluster to byte-identical replay across worker counts.
+// Epoch bounds are negotiated per destination zone from the cluster's
+// cross-domain topology. Poster registrations define a directed graph;
+// every edge costs at least the lookahead L (the minimum latency of any
+// inter-domain link), so the influence of zone j's earliest pending event
+// on zone i is bounded below by eff_j + dist(j, i), where dist is the
+// all-pairs shortest path over the edges — including, crucially, the
+// shortest cycle from a zone back to itself, which is how a zone's own
+// requests bound it once a neighbour relays a response. eff_j is zone j's
+// earliest pending event, optionally raised by a SetSlack hook reporting
+// the backlog of the serializer all its crossings ride; an idle zone
+// contributes no constraint at all (its wake-up is accounted through the
+// zone that will send it mail). Zone i's epoch bound is the minimum of
+// those influence floors, clamped so no control event and nothing past
+// the run limit is overtaken. Epochs therefore stretch across dead time
+// instead of advancing in fixed L steps, and coordination cost scales
+// with events executed, not epochs elapsed. Zones whose next event lies
+// at or beyond their bound are skipped entirely — they are never handed
+// to a worker and their engine is not touched.
+//
+// Cross-domain effects travel through per-(src,dst) mailboxes: a domain
+// appends (time, callback) entries while it runs its window, and the
+// coordinator drains each mailbox run in one bulk calendar insert at the
+// epoch barrier, in a fixed (destination, source, FIFO) order. Because
+// the destination engine's (timestamp, sequence) tie-break then orders
+// entries exactly as they were inserted, the merged schedule — and
+// therefore every RNG draw and every result — is identical whether
+// domains ran on one worker goroutine or many, and whether an epoch was
+// dispatched through the worker barrier or the degraded serial loop.
+// TestClusterDeterminism and the harness domain guards hold the cluster
+// to byte-identical replay across worker counts and degrade modes.
+//
+// Auto-degrade: parallel dispatch only pays when each epoch carries
+// enough work to amortize the barrier. The cluster keeps an EWMA of
+// events per active zone per epoch and collapses to the serial fast path
+// (workers parked at their gate, zero barrier traffic) when it falls
+// below a threshold, re-expanding when it rises back; on a single-P host
+// (GOMAXPROCS=1), where epochs can never overlap, it degrades outright.
+// Mode only selects the dispatch mechanism — bounds, run order and drain
+// order are computed identically either way — so results never depend on
+// it. Transitions are logged (capped per cluster).
 //
 // The control engine never runs concurrently with the domains: its events
 // (metrics harvests, experiment schedules) fire between epochs, after the
-// barrier, so a control callback may safely read any domain's state.
+// barrier, so a control callback may safely read any domain's state. All
+// zone bounds are clamped to nextCtl+1, so when a control event at time
+// tau fires, every zone has executed exactly its events at or before tau.
 //
 // The epoch machinery is allocation-free in steady state: mailbox buffers
 // and the active-domain list are reused across epochs, and worker
-// goroutines are spawned once per RunUntil, not per epoch
+// goroutines are spawned once and parked between engagements
 // (BenchmarkEpochBarrier gates this at 0 allocs/op in ci.sh).
 package sim
 
 import (
 	"fmt"
+	"log"
 	"math"
 	"runtime"
 	"sync"
@@ -47,6 +76,25 @@ const noEvent = units.Time(math.MaxInt64)
 // live instead of deadlocking the single P.
 const spinYield = 256
 
+// Auto-degrade estimator constants. The EWMA tracks events per active
+// zone per epoch in fixed point (<<ewmaShift) with weight 1/2^ewmaAlpha.
+// Below degradeBelow events/zone/epoch the barrier costs more than the
+// overlap it buys and the cluster collapses to the serial loop; above
+// expandAbove it re-engages the workers. The wide hysteresis band keeps
+// the mode from flapping on bursty workloads.
+const (
+	ewmaShift    = 8
+	ewmaAlpha    = 4
+	degradeBelow = 24
+	expandAbove  = 96
+	// degradeLogCap bounds transition log lines per cluster so a
+	// pathological workload cannot spam stderr.
+	degradeLogCap = 8
+)
+
+// uniprocOnce gates the once-per-process GOMAXPROCS=1 degrade log line.
+var uniprocOnce sync.Once
+
 // crossEvent is one mailbox entry: a callback bound for another domain.
 type crossEvent struct {
 	at units.Time
@@ -60,34 +108,68 @@ type mailbox struct {
 	buf []crossEvent
 }
 
+// ClusterStats is a snapshot of the cluster's epoch counters: the
+// denominator side of the events-per-epoch throughput picture
+// cmd/chipletbench records.
+type ClusterStats struct {
+	// Epochs is the number of epoch barriers executed.
+	Epochs uint64
+	// ParallelEpochs were dispatched through the worker barrier;
+	// SerialEpochs ran inline on the coordinator (single active zone,
+	// one worker, or degraded mode). Epochs = Parallel + Serial.
+	ParallelEpochs uint64
+	SerialEpochs   uint64
+	// Posted counts cross-domain mailbox entries drained at barriers.
+	Posted uint64
+	// Degrades and Expands count auto-degrade mode transitions.
+	Degrades uint64
+	Expands  uint64
+}
+
 // Cluster is a set of lockstepped domain engines.
 type Cluster struct {
-	zones   []*Engine
-	ctl     *Engine
-	look    units.Time
-	workers int
+	zones    []*Engine
+	ctl      *Engine
+	look     units.Time
+	workers  int
+	nworkers int // effective barrier width: min(workers, zones)
 
-	boxes   [][]mailbox  // [dst][src]
-	next    []units.Time // cached earliest pending event per domain
-	active  []int32      // domains with work in the current epoch
-	horizon units.Time   // current epoch bound; posts must land at or after it
+	boxes    [][]mailbox         // [dst][src]
+	inEdges  [][]int32           // per dst: sources with a registered Poster
+	dist     [][]units.Time      // [src][dst] shortest cross-domain latency; built at first run
+	slack    []func() units.Time // per src: outbound-backlog floor hook
+	next     []units.Time        // cached earliest pending event per domain
+	eff      []units.Time        // per-epoch effective earliest execution per domain
+	bounds   []units.Time        // per-epoch exclusive bound per domain
+	horizons []units.Time        // post floor per destination (= bounds during an epoch)
+	active   []int32             // domains with work in the current epoch
+	minBound units.Time          // min over bounds; the control engine's limit
 
-	// Epoch barrier state. The coordinator publishes (bound, active,
+	stats    ClusterStats
+	adaptive bool  // auto-degrade enabled (default)
+	degraded bool  // current dispatch mode when adaptive
+	uniproc  bool  // GOMAXPROCS < 2 sampled at run entry
+	ewma     int64 // events/active-zone/epoch, fixed point <<ewmaShift
+	lastExec uint64
+	logs     int
+
+	// Epoch barrier state. The coordinator publishes (bounds, active,
 	// claim=0, done=0) and releases workers by bumping phase; workers claim
-	// active domains from the shared counter, run them to bound-1, and —
+	// active domains from the shared counter, run each to its bound-1, and —
 	// once the counter is exhausted — count themselves done. The epoch ends
 	// when every participant has retired. All cross-thread hand-offs ride
 	// the atomics.
 	phase atomic.Uint64
 	claim atomic.Int64
 	done  atomic.Int64
-	bound units.Time
 
-	// Worker goroutines are spawned once, on the first parallel run, and
-	// persist across runs: between runs they block on gate (no allocation,
-	// no CPU), and within a run they spin on phase. parking + parked
-	// implement the end-of-run handshake that returns them to the gate.
+	// Worker goroutines are spawned once, on the first engaged epoch, and
+	// persist for the cluster's lifetime: while disengaged they block on
+	// gate (no allocation, no CPU), and while engaged they spin on phase.
+	// parking + parked implement the disengage handshake that returns them
+	// to the gate — at the end of a run, and on every degrade transition.
 	started bool
+	engaged bool
 	gate    chan struct{}
 	parking bool
 	parked  atomic.Int64
@@ -109,7 +191,12 @@ func NewCluster(seed uint64, zones int, lookahead units.Time, workers int) *Clus
 		workers = 1
 	}
 	root := NewRNG(seed)
-	cl := &Cluster{look: lookahead, workers: workers}
+	cl := &Cluster{
+		look:     lookahead,
+		workers:  workers,
+		adaptive: true,
+		ewma:     expandAbove << ewmaShift,
+	}
 	for i := 0; i < zones; i++ {
 		cl.zones = append(cl.zones, New(root.Uint64()))
 		cl.next = append(cl.next, noEvent)
@@ -118,6 +205,15 @@ func NewCluster(seed uint64, zones int, lookahead units.Time, workers int) *Clus
 	cl.boxes = make([][]mailbox, zones)
 	for d := range cl.boxes {
 		cl.boxes[d] = make([]mailbox, zones)
+	}
+	cl.inEdges = make([][]int32, zones)
+	cl.slack = make([]func() units.Time, zones)
+	cl.eff = make([]units.Time, zones)
+	cl.bounds = make([]units.Time, zones)
+	cl.horizons = make([]units.Time, zones)
+	cl.nworkers = workers
+	if cl.nworkers > zones {
+		cl.nworkers = zones
 	}
 	return cl
 }
@@ -164,25 +260,73 @@ func (cl *Cluster) Pending() int {
 	return total
 }
 
+// Stats snapshots the epoch counters.
+func (cl *Cluster) Stats() ClusterStats { return cl.stats }
+
+// SetAutoDegrade toggles the auto-degrade estimator. On (the default),
+// the cluster collapses parallel dispatch to the serial fast path when
+// epochs are too thin to amortize the barrier — always on a GOMAXPROCS=1
+// host — and re-expands when they fatten. Off pins the worker-barrier
+// dispatch unconditionally; benchmarks and barrier-path tests use this to
+// measure the parallel machinery itself. Either setting produces
+// byte-identical results: dispatch mode never changes bounds, run order
+// or drain order. Call only between runs.
+func (cl *Cluster) SetAutoDegrade(on bool) {
+	cl.adaptive = on
+	if !on {
+		cl.degraded = false
+	}
+}
+
+// Degraded reports whether the cluster is currently collapsed to the
+// serial fast path.
+func (cl *Cluster) Degraded() bool { return cl.degraded }
+
 // Poster returns the cross-domain scheduling hook for events originating
 // in domain src and destined for domain dst: a closure appending to the
-// (src, dst) mailbox. The hook must only be called from events executing
-// on domain src, with a target time no earlier than the current epoch
-// bound — conservative synchronization guarantees any causally-produced
-// time (t_send + link latency >= t_send + lookahead) satisfies that, and
-// the hook panics on violations rather than corrupting causality.
+// (src, dst) mailbox. Registering a Poster also declares the src->dst
+// edge the epoch-bound negotiation walks, so every Poster must be created
+// before the cluster first runs. The hook must only be called from events
+// executing on domain src, with a target time no earlier than the
+// destination's epoch bound — conservative synchronization guarantees any
+// causally-produced time (t_send + link latency >= t_send + lookahead)
+// satisfies that, and the hook panics on violations rather than
+// corrupting causality.
 func (cl *Cluster) Poster(src, dst int) func(units.Time, func()) {
 	if src == dst {
 		panic("sim: poster within one domain (schedule directly)")
 	}
+	if cl.dist != nil {
+		panic("sim: poster registered after the cluster first ran (the epoch-bound distance matrix is already frozen)")
+	}
+	seen := false
+	for _, s := range cl.inEdges[dst] {
+		if s == int32(src) {
+			seen = true
+			break
+		}
+	}
+	if !seen {
+		cl.inEdges[dst] = append(cl.inEdges[dst], int32(src))
+	}
 	box := &cl.boxes[dst][src]
 	return func(at units.Time, fn func()) {
-		if at < cl.horizon {
-			panic(fmt.Sprintf("sim: cross-domain post at %v inside the epoch horizon %v (lookahead violated)", at, cl.horizon))
+		if at < cl.horizons[dst] {
+			panic(fmt.Sprintf("sim: cross-domain post at %v inside destination %d's epoch horizon %v (lookahead violated)", at, dst, cl.horizons[dst]))
 		}
 		box.buf = append(box.buf, crossEvent{at: at, fn: fn})
 	}
 }
+
+// SetSlack registers src's outbound-backlog floor: a hook reporting an
+// absolute time before which nothing src executes can finish crossing a
+// domain boundary. It must be a true lower bound for every cross-domain
+// path out of src (e.g. the next-free time of the one serializer all of
+// src's crossings ride) and monotone non-decreasing; the coordinator
+// samples it at epoch barriers and stretches other zones' bounds with it,
+// letting them run through the backlog's shadow. nil removes the hook.
+// Call only between runs.
+func (cl *Cluster) SetSlack(src int, fn func() units.Time) { cl.slack[src] = fn }
 
 // RunFor runs the cluster for a span d of simulated time starting now.
 func (cl *Cluster) RunFor(d units.Time) { cl.RunUntil(cl.Now() + d) }
@@ -191,29 +335,91 @@ func (cl *Cluster) RunFor(d units.Time) { cl.RunUntil(cl.Now() + d) }
 // domain and the control engine, exchanging cross-domain events at
 // conservative epoch barriers, then parks every clock at exactly t.
 func (cl *Cluster) RunUntil(t units.Time) {
+	if cl.dist == nil {
+		cl.buildDist()
+	}
 	// Setup code schedules directly onto domain engines between runs, so
-	// the cached minima are refreshed on entry rather than trusted.
+	// the cached minima are refreshed on entry rather than trusted; the
+	// executed counter likewise (Step/Run on a zone engine between runs
+	// would skew the events-per-epoch estimator otherwise).
 	for i, z := range cl.zones {
 		cl.next[i] = nextOrMax(z)
 	}
-	if cl.workers > 1 && len(cl.zones) > 1 {
-		cl.runParallel(t)
-	} else {
-		cl.runSerial(t)
+	cl.lastExec = cl.Executed()
+	// On a single-P host parallel epochs cannot overlap — the lockstep
+	// just takes turns on one processor — so the estimator's verdict is
+	// known up front. Logged once per process, not per cluster: a fleet
+	// of cells on a 1-core host would otherwise repeat the same line.
+	cl.uniproc = runtime.GOMAXPROCS(0) < 2
+	if cl.adaptive && cl.uniproc && cl.nworkers > 1 && !cl.degraded {
+		cl.degraded = true
+		cl.stats.Degrades++
+		uniprocOnce.Do(func() {
+			log.Printf("sim: cluster auto-degrade parallel -> serial (GOMAXPROCS=1: epochs cannot overlap; applies to every cluster this process)")
+		})
 	}
+	cl.runEpochs(t)
 	for _, z := range cl.zones {
 		z.RunUntil(t)
 	}
 	cl.ctl.RunUntil(t)
-	cl.horizon = t
+	for i := range cl.horizons {
+		cl.horizons[i] = t
+	}
 }
 
-// epochBound computes the next epoch's exclusive bound: events strictly
-// before it are safe to run. The bound is the lookahead window past the
-// earliest pending event, clamped so no control event and nothing after
-// the run limit is overtaken. ok is false when no work remains at or
-// before t.
-func (cl *Cluster) epochBound(t units.Time) (units.Time, bool) {
+// buildDist freezes the cross-domain topology into an all-pairs
+// shortest-latency matrix: dist[j][i] is the least total mailbox latency
+// any causal chain from an event in zone j can take to reach zone i —
+// every registered edge costs the lookahead, relays through intermediate
+// zones can forward at the same timestamp, and the diagonal holds the
+// shortest cycle back to the zone itself (noEvent where no path exists).
+// Floyd-Warshall over at most a few dozen zones, run once at first run.
+func (cl *Cluster) buildDist() {
+	z := len(cl.zones)
+	cl.dist = make([][]units.Time, z)
+	for j := range cl.dist {
+		cl.dist[j] = make([]units.Time, z)
+		for i := range cl.dist[j] {
+			cl.dist[j][i] = noEvent
+		}
+	}
+	for dst, srcs := range cl.inEdges {
+		for _, src := range srcs {
+			cl.dist[src][dst] = cl.look
+		}
+	}
+	for k := 0; k < z; k++ {
+		for a := 0; a < z; a++ {
+			dak := cl.dist[a][k]
+			if dak == noEvent {
+				continue
+			}
+			for b := 0; b < z; b++ {
+				if dkb := cl.dist[k][b]; dkb != noEvent && dak+dkb < cl.dist[a][b] {
+					cl.dist[a][b] = dak + dkb
+				}
+			}
+		}
+	}
+}
+
+// computeEpoch negotiates the next epoch: per-zone exclusive bounds, the
+// active-zone list, and the control engine's limit. It reports false when
+// no work remains at or before t.
+//
+// Safety: every event zone j executes this epoch runs at or after
+// eff[j] = max(next_j, slack_j), and any causal chain from it to zone i
+// crosses mailbox edges totalling at least dist[j][i] — including chains
+// that bounce off a neighbour back to j itself, which the diagonal
+// covers — so nothing can arrive at zone i before min over j of
+// eff[j] + dist[j][i], and running zone i to that bound can never miss
+// an incoming event. Progress: the zone holding the globally earliest
+// event e has every influence floor at e + lookahead or later and the
+// clamps at e+1 or later, so its bound strictly exceeds e and at least
+// one event (or, when e is a control event, the control engine) advances
+// each epoch.
+func (cl *Cluster) computeEpoch(t units.Time) bool {
 	e := noEvent
 	for _, nx := range cl.next {
 		if nx < e {
@@ -225,82 +431,73 @@ func (cl *Cluster) epochBound(t units.Time) (units.Time, bool) {
 		e = ctlAt
 	}
 	if e > t {
-		return 0, false
+		return false
 	}
-	b := e + cl.look
-	if ctlOK && ctlAt+1 < b {
-		b = ctlAt + 1
+	clamp := t + 1
+	if ctlOK && ctlAt+1 < clamp {
+		clamp = ctlAt + 1
 	}
-	if t+1 < b {
-		b = t + 1
+	for i, nx := range cl.next {
+		if nx == noEvent {
+			// An idle zone executes nothing, so it can send nothing: no
+			// constraint on its neighbours until mail wakes it, and the
+			// wake-up mail is accounted at its origin zone.
+			cl.eff[i] = noEvent
+			continue
+		}
+		if s := cl.slack[i]; s != nil {
+			if f := s(); f > nx {
+				nx = f
+			}
+		}
+		cl.eff[i] = nx
 	}
-	return b, true
+	cl.minBound = clamp
+	cl.active = cl.active[:0]
+	for i := range cl.zones {
+		b := clamp
+		for j := range cl.zones {
+			ej := cl.eff[j]
+			if ej == noEvent {
+				continue
+			}
+			d := cl.dist[j][i]
+			if d == noEvent || ej >= noEvent-d {
+				continue
+			}
+			if f := ej + d; f < b {
+				b = f
+			}
+		}
+		cl.bounds[i] = b
+		cl.horizons[i] = b
+		if b < cl.minBound {
+			cl.minBound = b
+		}
+		if cl.next[i] < b {
+			cl.active = append(cl.active, int32(i))
+		}
+	}
+	return true
 }
 
-// runSerial is the single-worker epoch loop: identical epochs, barriers
-// and drain order to the parallel path, minus the goroutines — which is
-// exactly why -domains 1 and -domains N produce byte-identical results.
-func (cl *Cluster) runSerial(t units.Time) {
-	for {
-		b, ok := cl.epochBound(t)
-		if !ok {
-			return
-		}
-		cl.horizon = b
-		for i, z := range cl.zones {
-			if cl.next[i] < b {
-				z.RunUntil(b - 1)
-				cl.next[i] = nextOrMax(z)
+// runEpochs is the epoch loop shared by every dispatch mode: negotiate
+// bounds, run the active zones (through the worker barrier, or inline
+// when only one is active, the cluster is degraded, or there is one
+// worker), drain mailboxes, run control events, update the estimator.
+// Bounds, run-set and drain order are identical in every mode — which is
+// exactly why -domains 1 and -domains N, degraded or not, produce
+// byte-identical results.
+func (cl *Cluster) runEpochs(t units.Time) {
+	w := cl.nworkers
+	canPar := w > 1
+	for cl.computeEpoch(t) {
+		cl.stats.Epochs++
+		if canPar && !cl.degraded && len(cl.active) > 1 {
+			cl.stats.ParallelEpochs++
+			if !cl.engaged {
+				cl.engage()
 			}
-		}
-		cl.drainAndControl(b)
-	}
-}
-
-// runParallel is the multi-worker epoch loop: persistent workers are
-// released from the gate for the run and per epoch by the phase word; the
-// coordinator participates in each epoch's work, then drains mailboxes
-// and runs control events alone.
-func (cl *Cluster) runParallel(t units.Time) {
-	w := cl.workers
-	if w > len(cl.zones) {
-		w = len(cl.zones)
-	}
-	if !cl.started {
-		cl.started = true
-		cl.gate = make(chan struct{})
-		for i := 0; i < w-1; i++ {
-			cl.wg.Add(1)
-			go func() {
-				defer cl.wg.Done()
-				cl.workerLoop()
-			}()
-		}
-	}
-	for i := 0; i < w-1; i++ {
-		cl.gate <- struct{}{}
-	}
-	for {
-		b, ok := cl.epochBound(t)
-		if !ok {
-			break
-		}
-		cl.horizon = b
-		cl.active = cl.active[:0]
-		for i := range cl.zones {
-			if cl.next[i] < b {
-				cl.active = append(cl.active, int32(i))
-			}
-		}
-		if len(cl.active) <= 1 {
-			// One busy domain: run it inline, no barrier traffic.
-			for _, zi := range cl.active {
-				z := cl.zones[zi]
-				z.RunUntil(b - 1)
-				cl.next[zi] = nextOrMax(z)
-			}
-		} else {
-			cl.bound = b
 			cl.claim.Store(0)
 			cl.done.Store(0)
 			cl.phase.Add(1) // publish the epoch; workers may now claim
@@ -308,33 +505,122 @@ func (cl *Cluster) runParallel(t units.Time) {
 			// Wait for every participant (w-1 workers + this coordinator)
 			// to retire from the epoch, not merely for every domain to be
 			// claimed: a worker's last act in runShare is its done.Add, so
-			// once done reaches w no goroutine can still touch bound,
+			// once done reaches w no goroutine can still touch bounds,
 			// claim or active, and the next epoch may overwrite them.
 			for spins := 0; cl.done.Load() != int64(w); spins++ {
 				if spins%spinYield == spinYield-1 {
 					runtime.Gosched()
 				}
 			}
+		} else {
+			cl.stats.SerialEpochs++
+			for _, zi := range cl.active {
+				z := cl.zones[zi]
+				z.RunUntil(cl.bounds[zi] - 1)
+				cl.next[zi] = nextOrMax(z)
+			}
 		}
-		cl.drainAndControl(b)
+		cl.drainAndControl()
+		if canPar && cl.adaptive {
+			cl.adapt()
+		}
 	}
-	// Park the workers back at the gate: a phase bump with parking set is
-	// the end-of-run signal, and the parked counter confirms every worker
-	// has left the spin loop before the flag is cleared for the next run.
+	if cl.engaged {
+		cl.disengage()
+	}
+}
+
+// adapt updates the events-per-active-zone EWMA after an epoch and flips
+// the dispatch mode across the hysteresis band. It reads only simulation
+// state the epoch schedule already fixed, and mode only selects dispatch,
+// so adaptation can never change results.
+func (cl *Cluster) adapt() {
+	exec := cl.Executed()
+	delta := int64(exec - cl.lastExec)
+	cl.lastExec = exec
+	n := int64(len(cl.active))
+	if n == 0 {
+		return // control-only epoch: no evidence about zone parallelism
+	}
+	x := (delta << ewmaShift) / n
+	cl.ewma += (x - cl.ewma) >> ewmaAlpha
+	if cl.uniproc {
+		return // degraded for the whole run; keep the EWMA warm
+	}
+	if cl.degraded {
+		if cl.ewma > expandAbove<<ewmaShift {
+			cl.setDegraded(false, "events/zone/epoch above expand threshold")
+		}
+	} else if cl.ewma < degradeBelow<<ewmaShift {
+		cl.setDegraded(true, "events/zone/epoch below degrade threshold")
+	}
+}
+
+// setDegraded switches the dispatch mode, parking the workers on entry to
+// degraded mode so they burn no CPU while the serial loop runs.
+func (cl *Cluster) setDegraded(to bool, why string) {
+	if cl.degraded == to {
+		return
+	}
+	cl.degraded = to
+	if to {
+		cl.stats.Degrades++
+		if cl.engaged {
+			cl.disengage()
+		}
+	} else {
+		cl.stats.Expands++
+	}
+	if cl.logs < degradeLogCap {
+		cl.logs++
+		mode := "parallel -> serial"
+		if !to {
+			mode = "serial -> parallel"
+		}
+		log.Printf("sim: cluster auto-degrade %s at t=%v (%s; EWMA %.1f events/zone/epoch)",
+			mode, cl.Now(), why, float64(cl.ewma)/(1<<ewmaShift))
+	}
+}
+
+// engage releases the persistent workers from their gate for a stretch of
+// parallel epochs, spawning them on first use.
+func (cl *Cluster) engage() {
+	if !cl.started {
+		cl.started = true
+		cl.gate = make(chan struct{})
+		for i := 0; i < cl.nworkers-1; i++ {
+			cl.wg.Add(1)
+			go func() {
+				defer cl.wg.Done()
+				cl.workerLoop()
+			}()
+		}
+	}
+	for i := 0; i < cl.nworkers-1; i++ {
+		cl.gate <- struct{}{}
+	}
+	cl.engaged = true
+}
+
+// disengage parks the workers back at the gate: a phase bump with parking
+// set is the signal, and the parked counter confirms every worker has
+// left the spin loop before the flag is cleared for the next engagement.
+func (cl *Cluster) disengage() {
 	cl.parking = true
 	cl.parked.Store(0)
 	cl.phase.Add(1)
-	for spins := 0; cl.parked.Load() != int64(w-1); spins++ {
+	for spins := 0; cl.parked.Load() != int64(cl.nworkers-1); spins++ {
 		if spins%spinYield == spinYield-1 {
 			runtime.Gosched()
 		}
 	}
 	cl.parking = false
+	cl.engaged = false
 }
 
-// workerLoop is one persistent worker goroutine: wait at the gate for a
-// run, then spin on the phase word — each bump is either an epoch release
-// (help drain the active list) or, with parking set, the end of the run
+// workerLoop is one persistent worker goroutine: wait at the gate for an
+// engagement, then spin on the phase word — each bump is either an epoch
+// release (help drain the active list) or, with parking set, a disengage
 // (acknowledge and return to the gate). A closed gate shuts the worker
 // down.
 func (cl *Cluster) workerLoop() {
@@ -374,14 +660,13 @@ func (cl *Cluster) Shutdown() {
 }
 
 // runShare claims active domains from the epoch's shared counter and runs
-// each to the epoch bound. Every domain is claimed by exactly one worker,
+// each to its own bound. Every domain is claimed by exactly one worker,
 // so domain engines — and the mailboxes their events append to — stay
 // single-writer for the whole epoch. The done counter counts retired
 // participants, not completed domains: it is bumped exactly once, after
 // the claim counter is exhausted, so a done count of w proves no
-// goroutine can still read this epoch's bound or active list.
+// goroutine can still read this epoch's bounds or active list.
 func (cl *Cluster) runShare() {
-	b := cl.bound
 	n := int64(len(cl.active))
 	for {
 		i := cl.claim.Add(1) - 1
@@ -391,36 +676,37 @@ func (cl *Cluster) runShare() {
 		}
 		zi := cl.active[i]
 		z := cl.zones[zi]
-		z.RunUntil(b - 1)
+		z.RunUntil(cl.bounds[zi] - 1)
 		cl.next[zi] = nextOrMax(z)
 	}
 }
 
 // drainAndControl is the epoch barrier's sequential tail: the coordinator
-// merges every mailbox onto its destination calendar in fixed
-// (destination, source, FIFO) order — the destination engine's sequence
-// numbers then encode that order, making the merge deterministic — and
-// runs control events up to the bound.
-func (cl *Cluster) drainAndControl(b units.Time) {
+// merges every mailbox run onto its destination calendar in one bulk
+// insert, in fixed (destination, source, FIFO) order — the destination
+// engine's sequence numbers then encode that order, making the merge
+// deterministic — and runs control events up to the epoch's minimum
+// bound.
+func (cl *Cluster) drainAndControl() {
 	for dst := range cl.boxes {
 		row := cl.boxes[dst]
+		z := cl.zones[dst]
 		for src := range row {
 			box := &row[src]
 			if len(box.buf) == 0 {
 				continue
 			}
-			z := cl.zones[dst]
-			for i, ev := range box.buf {
-				z.At(ev.at, ev.fn)
-				if ev.at < cl.next[dst] {
-					cl.next[dst] = ev.at
-				}
+			cl.stats.Posted += uint64(len(box.buf))
+			if at := z.atBatch(box.buf); at < cl.next[dst] {
+				cl.next[dst] = at
+			}
+			for i := range box.buf {
 				box.buf[i] = crossEvent{}
 			}
 			box.buf = box.buf[:0]
 		}
 	}
-	cl.ctl.RunUntil(b - 1)
+	cl.ctl.RunUntil(cl.minBound - 1)
 }
 
 // nextOrMax reports an engine's earliest pending timestamp, or noEvent

@@ -121,6 +121,36 @@ func (e *Engine) At(t units.Time, fn func()) {
 	}
 }
 
+// atBatch schedules a drained mailbox run onto the calendar in slice
+// order — the bulk-insert path of the cluster's epoch barrier. Sequence
+// numbers are assigned in slice order, so the (time, seq) tie-break
+// reproduces exactly what per-entry At calls would, and it reports the
+// earliest timestamp inserted so the caller can refresh its cached
+// next-event minimum with one comparison per mailbox instead of one per
+// message.
+func (e *Engine) atBatch(evs []crossEvent) units.Time {
+	earliest := noEvent
+	horizon := e.baseTick + wheelSlots
+	for i := range evs {
+		ev := &evs[i]
+		if ev.at < e.now {
+			panic(fmt.Sprintf("sim: scheduling at %v which is before now (%v)", ev.at, e.now))
+		}
+		if ev.at < earliest {
+			earliest = ev.at
+		}
+		e.seq++
+		e.pending++
+		rec := event{at: ev.at, seq: e.seq, fn: ev.fn}
+		if tick := int64(ev.at) >> tickShift; tick < horizon {
+			e.slotPush(tick, rec)
+		} else {
+			e.overflow = heapPush(e.overflow, rec)
+		}
+	}
+	return earliest
+}
+
 // After schedules fn to run d after the current time. A negative d is
 // clamped to zero (run as the next event at the current timestamp).
 func (e *Engine) After(d units.Time, fn func()) {
