@@ -33,7 +33,9 @@ go test ./...
 # goroutines while HTTP handlers scrape (TestConcurrentScrape).
 # internal/trace rides along for the trace-metrics fusion path
 # (SpansInWindow keyed off harvest-window stamps).
-go test -race -timeout 1800s ./internal/harness/ ./internal/sim/ ./internal/link/ ./internal/core/ ./internal/metrics/ ./internal/anomaly/ ./internal/serve/ ./internal/trace/
+# internal/anomaly/correlate rides along: the /correlate handler renders
+# it from snapshots taken while cell goroutines keep harvesting.
+go test -race -timeout 1800s ./internal/harness/ ./internal/sim/ ./internal/link/ ./internal/core/ ./internal/metrics/ ./internal/anomaly/ ./internal/anomaly/correlate/ ./internal/serve/ ./internal/trace/
 
 # Observability overhead guards: an attached-but-disabled tracer must stay
 # within ~5% of a nil tracer on the channel hot path, and the tracer hooks
@@ -63,6 +65,16 @@ bench=$(go test ./internal/anomaly/ -run '^$' -bench 'BenchmarkDetectorSweep' -b
 echo "$bench"
 if echo "$bench" | grep 'BenchmarkDetectorSweep' | grep -qv ' 0 allocs/op'; then
     echo "anomaly detector sweep allocates on the steady-state path" >&2
+    exit 1
+fi
+
+# The incident archive's append path must not allocate either: records
+# are encoded into a reused buffer by the hand-rolled marshaller, so an
+# attached archive adds no allocation inside the harvest tick.
+bench=$(go test ./internal/anomaly/ -run '^$' -bench 'BenchmarkArchiveAppend' -benchtime 1000x)
+echo "$bench"
+if echo "$bench" | grep 'BenchmarkArchiveAppend' | grep -qv ' 0 allocs/op'; then
+    echo "incident archive append allocates" >&2
     exit 1
 fi
 

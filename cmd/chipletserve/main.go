@@ -1,13 +1,15 @@
 // Command chipletserve runs a fleet of experiment cells with the full
 // observability stack attached — windowed metrics, online anomaly
-// detectors, serving mirror — and scrapes them over HTTP while the
-// simulations run:
+// detectors, serving mirror, incident lifecycle pipeline — and scrapes
+// them over HTTP while the simulations run:
 //
 //	/            index: endpoints + per-cell status
 //	/metrics     OpenMetrics exposition (Prometheus-compatible), one
-//	             cell="fig4/s1c2" label per cell
+//	             cell="fig4/s1c2" label per cell, plus the pipeline's own
+//	             webhook/archive counters
 //	/incidents   congestion incidents JSON feed (?cell=, ?open=1)
 //	/bottlenecks per-window bottleneck attribution (?cell=, ?window=, ?top=)
+//	/correlate   cross-cell saturation order (?resource=, ?top=, ?format=json)
 //	/cells       cell status JSON
 //
 // Usage:
@@ -15,11 +17,18 @@
 //	chipletserve                          serve the Figure 4 sweep on :8080
 //	chipletserve -experiment fig5         the Figure 5 scenarios instead
 //	chipletserve -scale 4 -loop           quick cells, re-run forever
+//	chipletserve -archive incidents.jsonl persist incident lifecycles (JSONL,
+//	                                      rotated; reload with chipletstat -correlate)
+//	chipletserve -push http://host/hook   POST each incident lifecycle event
 //	curl localhost:8080/incidents         watch congestion onsets live
+//	curl localhost:8080/correlate         which config saturates umc0 first?
 //
 // The server keeps serving after the fleet finishes (the mirrors hold
 // the full retained series), so a scrape late in the day still sees the
-// morning's windows; -loop re-runs the fleet continuously instead.
+// morning's windows; -loop re-runs the fleet continuously instead. With
+// -loop, each round's still-open incidents are closed with synthetic
+// clear stamps before the mirror resets, so the archive and /correlate
+// history never carry dangling-open records from finished rounds.
 package main
 
 import (
@@ -27,7 +36,9 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/anomaly"
 	"repro/internal/harness"
@@ -49,6 +60,13 @@ func main() {
 	kSigma := flag.Float64("k", 6, "detector EWMA band half-width in sigmas")
 	minRate := flag.Float64("minrate", 0.05, "detector onset floor (normalized rate)")
 	loop := flag.Bool("loop", false, "re-run the fleet continuously so scrapes always see a live run")
+	archivePath := flag.String("archive", "", "append incident lifecycle events to this JSONL file (rotated)")
+	archiveMaxBytes := flag.Int64("archive-max-bytes", 8<<20, "rotate the archive past this size")
+	archiveFiles := flag.Int("archive-files", 4, "rotated archive files kept (oldest deleted)")
+	push := flag.String("push", "", "comma-separated webhook URLs POSTed each incident lifecycle event")
+	pushRetries := flag.Int("push-retries", 3, "failed-POST retries per webhook target (negative: none)")
+	pushBackoff := flag.Duration("push-backoff", 100*time.Millisecond, "first webhook retry backoff (doubles per retry)")
+	pushTimeout := flag.Duration("push-timeout", 2*time.Second, "per-POST webhook timeout")
 	flag.Parse()
 
 	opt := harness.DefaultOptions()
@@ -101,6 +119,24 @@ func main() {
 	}
 
 	fleet := serve.NewFleet()
+	if *archivePath != "" {
+		arch, err := anomaly.OpenArchive(*archivePath, anomaly.ArchiveConfig{
+			MaxBytes: *archiveMaxBytes, MaxFiles: *archiveFiles,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fleet.SetArchive(arch)
+		log.Printf("archiving incident lifecycles to %s", *archivePath)
+	}
+	if *push != "" {
+		targets := strings.Split(*push, ",")
+		notifier := serve.NewNotifier(targets, serve.NotifierConfig{
+			Retries: *pushRetries, Backoff: *pushBackoff, Timeout: *pushTimeout,
+		})
+		fleet.SetNotifier(notifier)
+		log.Printf("pushing incident events to %d webhook target(s)", len(targets))
+	}
 	cells := make([]*serve.Cell, len(runs))
 	for i, r := range runs {
 		cells[i] = fleet.Add(r.name, *retain)

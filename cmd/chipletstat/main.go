@@ -11,12 +11,20 @@
 //	chipletstat -in stats.json -all                  every window's top view
 //	chipletstat -in stats.json -format csv -o f.csv  re-export the series
 //	chipletstat -in stats.json -serve :8080          serve the dump over HTTP
+//	chipletstat -correlate incidents.jsonl           cross-cell saturation order
 //
 // -serve exposes the dump behind the same endpoint set cmd/chipletserve
 // uses for live fleets (/metrics, /bottlenecks, /incidents, /cells), so
 // a series recorded yesterday scrapes exactly like one recording now;
 // -incidents adds a saved incident feed (chipletserve's /incidents JSON)
 // to the served cell.
+//
+// -correlate loads an incident lifecycle archive (the JSONL file
+// chipletserve -archive appends, rotations included) and renders the
+// same cross-cell saturation-order report the live /correlate endpoint
+// serves: which resource saturated first, in which cell, how the onsets
+// order across configs. -format json emits the report as JSON; -top
+// bounds the ranked series. -correlate needs no -in.
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/anomaly"
+	"repro/internal/anomaly/correlate"
 	"repro/internal/metrics"
 	"repro/internal/serve"
 )
@@ -44,7 +53,14 @@ func main() {
 	out := flag.String("o", "", "output file for -format (default stdout)")
 	serveAddr := flag.String("serve", "", "serve the dump over HTTP at this address instead of reporting")
 	incidentsIn := flag.String("incidents", "", "incident feed JSON to serve alongside the dump (with -serve)")
+	correlateIn := flag.String("correlate", "", "incident archive JSONL (from chipletserve -archive): render the cross-cell saturation order")
 	flag.Parse()
+	if *correlateIn != "" {
+		if err := runCorrelate(*correlateIn, *format, *out, *top); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -98,6 +114,37 @@ func main() {
 		fmt.Println(metrics.FamilySummary(d))
 		fmt.Println(metrics.BottleneckReport(d, *top))
 		fmt.Println(metrics.RenderWindow(d, d.Total()-1, *top))
+	}
+}
+
+// runCorrelate loads an incident lifecycle archive and renders the
+// cross-cell saturation-order report (text, or JSON with -format json).
+func runCorrelate(path, format, outPath string, top int) error {
+	recs, err := anomaly.LoadArchive(path)
+	if err != nil {
+		return err
+	}
+	series := correlate.Correlate(recs)
+	var w io.Writer = os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch format {
+	case "", "text":
+		_, err = io.WriteString(w, correlate.Render(series, top))
+		return err
+	case "json":
+		if top > 0 && top < len(series) {
+			series = series[:top]
+		}
+		return correlate.WriteJSON(w, series)
+	default:
+		return fmt.Errorf("unknown format %q for -correlate; choose text or json", format)
 	}
 }
 

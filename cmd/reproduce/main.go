@@ -7,6 +7,8 @@
 //	reproduce -trace out.json [-trace-scenario N] [-trace-case N] [-trace-spans N] [-scale N] [-seed N]
 //	reproduce -stats out.json [-stats-experiment fig4|fig5] [-stats-scenario N] [-stats-case N]
 //	          [-stats-window D] [-stats-format json|openmetrics|csv] [-stats-top N]
+//	reproduce -trace fused.json -stats stats.json [-trace-scenario N] [-trace-case N]
+//	          [-stats-window D] [-stats-format ...]
 //
 // -scale divides the steady-state measurement windows (1 = full length, as
 // recorded in EXPERIMENTS.md; larger is faster but noisier). -workers sets
@@ -33,6 +35,15 @@
 // view while the simulation runs, prints the ranked bottleneck report,
 // and writes the full per-window series to the file in the chosen
 // format. Inspect a JSON dump later with cmd/chipletstat.
+//
+// -trace and -stats together run ONE fused cell: the flight recorder and
+// the windowed-metrics registry (with the online anomaly detectors
+// attached) observe the same engine over the same measurement window.
+// The stats file gets the per-window series as usual; the trace file
+// gets the fused export — the span timeline plus the detected incidents
+// as an annotation track, onset/clear markers landing inside the windows
+// whose spans show the congestion. The cell is selected by
+// -trace-scenario/-trace-case; -stats-window/-stats-format apply.
 package main
 
 import (
@@ -42,6 +53,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/anomaly"
 	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/profiling"
@@ -83,6 +95,14 @@ func main() {
 	}()
 
 	opt := harness.Options{Seed: *seed, TimeScale: *scale, Workers: *workers, Domains: *domains}
+	if *traceFile != "" && *statsFile != "" {
+		win := units.Nanos(float64(statsWindow.Nanoseconds()))
+		err := runFused(opt, *traceScenario, *traceCase, *traceSpans, win, *statsFormat, *statsTop, *traceFile, *statsFile)
+		if err != nil {
+			log.Fatalf("fused: %v", err)
+		}
+		return
+	}
 	if *traceFile != "" {
 		if err := runTrace(opt, *traceScenario, *traceCase, *traceSpans, *traceFile); err != nil {
 			log.Fatalf("trace: %v", err)
@@ -150,6 +170,70 @@ func runTrace(opt harness.Options, scenario, demandCase, spanCap int, path strin
 	fmt.Println(tr.CounterReport())
 	fmt.Printf("wrote %d spans to %s — open at https://ui.perfetto.dev or inspect with chiplettrace\n",
 		tr.SpanCount(), path)
+	return nil
+}
+
+// runFused runs one Figure 4 cell with both observers on one engine —
+// flight recorder plus windowed metrics with anomaly detectors — then
+// writes the stats series and the fused annotated trace, and prints the
+// incident table over the span timeline they both describe.
+func runFused(opt harness.Options, scenario, demandCase, spanCap int, window units.Time, format string, top int, tracePath, statsPath string) error {
+	switch format {
+	case "json", "openmetrics", "csv":
+	default:
+		return fmt.Errorf("unknown format %q; choose json, openmetrics or csv", format)
+	}
+	reg := metrics.New(metrics.Config{Window: window})
+	mon := anomaly.Attach(reg, anomaly.Config{})
+	if top > 0 {
+		reg.OnHarvest(func() {
+			fmt.Println(metrics.RenderWindow(reg, reg.Total()-1, top))
+		})
+	}
+	res, tr, err := harness.Figure4FusedCell(opt, scenario, demandCase, spanCap, reg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(harness.RenderFigure4([]harness.Fig4Result{res}))
+	fmt.Println(metrics.BottleneckReport(reg, 3))
+	fmt.Println("incidents:")
+	fmt.Println(anomaly.Report(mon.Incidents()))
+
+	f, err := os.Create(statsPath)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "json":
+		err = reg.Dump().WriteJSON(f)
+	case "openmetrics":
+		err = metrics.WriteOpenMetrics(f, reg)
+	case "csv":
+		err = metrics.WriteCSV(f, reg)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d windows x %d instruments to %s (%s)\n",
+		reg.Total(), reg.NumInstruments(), statsPath, format)
+
+	g, err := os.Create(tracePath)
+	if err != nil {
+		return err
+	}
+	if err := anomaly.WriteFusedTraceEvents(g, tr, mon.Incidents()); err != nil {
+		g.Close()
+		return err
+	}
+	if err := g.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote fused trace: %d spans + %d incident annotations to %s — open at https://ui.perfetto.dev\n",
+		tr.SpanCount(), mon.NumIncidents(), tracePath)
 	return nil
 }
 

@@ -144,6 +144,19 @@ type Incident struct {
 	// units (average concurrent waiters, for MetricWait).
 	Baseline float64 `json:"baseline"`
 	Severity float64 `json:"severity"`
+	// PeakWindow and PeakPS stamp *when* Severity last peaked: the window
+	// index and that window's end stamp. Severity updates arrive
+	// mid-incident as each window is harvested; without the stamp the
+	// timing of the worst window would be dropped by any round trip that
+	// keeps only the magnitude. Correlation reports use it as the
+	// severity-trajectory landmark.
+	PeakWindow int        `json:"peak_window"`
+	PeakPS     units.Time `json:"peak_ps"`
+	// SyntheticClear marks a clear stamped administratively — a serving
+	// mirror reset at the end of a -loop round — rather than by the
+	// detector observing calm windows. Archives never carry dangling-open
+	// records across rounds; they carry synthetic clears.
+	SyntheticClear bool `json:"synthetic_clear,omitempty"`
 	// Bottlenecks is the attributor's ranking for the onset window — the
 	// incident arrives naming where the congestion lives, not just which
 	// instrument tripped.
@@ -275,6 +288,8 @@ func (m *Monitor) update(st *detState, w int, span float64) {
 		inc := &m.incidents[st.openIdx-1]
 		if x > inc.Severity {
 			inc.Severity = x
+			inc.PeakWindow = w
+			inc.PeakPS = m.reg.WindowEnd(w)
 		}
 		if x <= m.cfg.MinRate || x <= st.mean+m.cfg.K*sigma(st.variance) {
 			st.calmRun++
@@ -337,6 +352,8 @@ func (m *Monitor) open(st *detState, w int, x float64, ewmaFired, phFired bool) 
 		ClearWindow: -1,
 		Baseline:    st.mean,
 		Severity:    x,
+		PeakWindow:  w,
+		PeakPS:      m.reg.WindowEnd(w),
 		Bottlenecks: metrics.Bottlenecks(m.reg, w, m.cfg.TopK),
 	})
 	st.openIdx = len(m.incidents)

@@ -1,0 +1,232 @@
+// Package correlate answers the capacity-planning question the incident
+// archive exists for: across many experiment cells (configs, -loop
+// rounds), which shared resource saturates first, in which config, and
+// how does its severity evolve? It joins archived incident records by
+// their (resource, op) identity — resource strings already carry the op,
+// "umc0/rd" — plus the watched metric, and emits a ranked saturation
+// order: resources ordered by earliest onset sim-time, each listing its
+// onsets cell by cell in the order the configs tripped it.
+//
+// Inputs are anomaly.ArchiveRecord values — the folded latest-state view
+// from anomaly.LoadArchive, the serving fleet's history, or a live
+// /incidents feed tagged with cells. The package is pure computation: no
+// locks, no I/O beyond the render/JSON helpers, usable offline
+// (chipletstat -correlate) and online (the /correlate endpoint) alike.
+package correlate
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/anomaly"
+	"repro/internal/units"
+)
+
+// Onset is one cell's saturation of a series' resource: when the
+// incident opened, how it ended, and its severity trajectory landmarks.
+type Onset struct {
+	Cell  string `json:"cell,omitempty"`
+	Round int    `json:"round,omitempty"`
+	ID    int    `json:"id"`
+	// Window is the onset window index in the owning cell's registry;
+	// OnsetPS that window's start stamp (the saturation sim-time).
+	Window  int        `json:"window"`
+	OnsetPS units.Time `json:"onset_ps"`
+	// ClearPS is the clear stamp (zero while open); Synthetic marks a
+	// clear stamped by a mirror reset rather than the detector.
+	ClearPS   units.Time `json:"clear_ps,omitempty"`
+	Open      bool       `json:"open,omitempty"`
+	Synthetic bool       `json:"synthetic_clear,omitempty"`
+	// Severity is the peak normalized rate, PeakPS when it was reached,
+	// Baseline the frozen pre-onset EWMA mean.
+	Severity float64    `json:"severity"`
+	PeakPS   units.Time `json:"peak_ps,omitempty"`
+	Baseline float64    `json:"baseline"`
+	Detector string     `json:"detector"`
+}
+
+// Duration reports the onset's open interval (zero while open).
+func (o Onset) Duration() units.Time {
+	if o.Open || o.ClearPS < o.OnsetPS {
+		return 0
+	}
+	return o.ClearPS - o.OnsetPS
+}
+
+// Series is one shared resource's cross-cell incident history: every
+// onset that named it, saturation order (earliest first).
+type Series struct {
+	Resource string `json:"resource"`
+	Metric   string `json:"metric"`
+	Family   string `json:"family"`
+	// Onsets is the saturation order: which cell tripped the resource
+	// first, second, ... — ordered by onset sim-time, then cell, round,
+	// id for determinism. The severity sequence across entries is the
+	// resource's severity trajectory over configs.
+	Onsets []Onset `json:"onsets"`
+}
+
+// First reports the earliest onset (the saturation winner). Series from
+// Correlate always hold at least one onset.
+func (s Series) First() Onset { return s.Onsets[0] }
+
+// Correlate joins records by (resource, metric) and ranks the resulting
+// series into the saturation order: earliest first onset wins; ties break
+// toward more onsets (a resource every config saturates outranks a
+// one-off), then resource name. Pass folded records (anomaly.LoadArchive
+// or FoldArchive output) — raw event streams would double-count
+// lifecycle events of one incident.
+func Correlate(recs []anomaly.ArchiveRecord) []Series {
+	type key struct{ resource, metric string }
+	idx := map[key]int{}
+	var out []Series
+	for _, rec := range recs {
+		in := rec.Incident
+		k := key{in.Resource, in.Metric}
+		i, ok := idx[k]
+		if !ok {
+			i = len(out)
+			idx[k] = i
+			out = append(out, Series{Resource: in.Resource, Metric: in.Metric, Family: in.Family})
+		}
+		out[i].Onsets = append(out[i].Onsets, Onset{
+			Cell:      rec.Cell,
+			Round:     rec.Round,
+			ID:        in.ID,
+			Window:    in.OnsetWindow,
+			OnsetPS:   in.OnsetStart,
+			ClearPS:   in.ClearEnd,
+			Open:      in.Open(),
+			Synthetic: in.SyntheticClear,
+			Severity:  in.Severity,
+			PeakPS:    in.PeakPS,
+			Baseline:  in.Baseline,
+			Detector:  in.Detector,
+		})
+	}
+	for i := range out {
+		ons := out[i].Onsets
+		sort.SliceStable(ons, func(a, b int) bool {
+			if ons[a].OnsetPS != ons[b].OnsetPS {
+				return ons[a].OnsetPS < ons[b].OnsetPS
+			}
+			if ons[a].Cell != ons[b].Cell {
+				return ons[a].Cell < ons[b].Cell
+			}
+			if ons[a].Round != ons[b].Round {
+				return ons[a].Round < ons[b].Round
+			}
+			return ons[a].ID < ons[b].ID
+		})
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		fa, fb := out[a].First(), out[b].First()
+		if fa.OnsetPS != fb.OnsetPS {
+			return fa.OnsetPS < fb.OnsetPS
+		}
+		if len(out[a].Onsets) != len(out[b].Onsets) {
+			return len(out[a].Onsets) > len(out[b].Onsets)
+		}
+		if out[a].Resource != out[b].Resource {
+			return out[a].Resource < out[b].Resource
+		}
+		return out[a].Metric < out[b].Metric
+	})
+	return out
+}
+
+// Filter keeps the series whose resource name contains substr (all, when
+// substr is empty).
+func Filter(series []Series, substr string) []Series {
+	if substr == "" {
+		return series
+	}
+	out := make([]Series, 0, len(series))
+	for _, s := range series {
+		if strings.Contains(s.Resource, substr) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Render writes the saturation-order report: one block per series (top
+// bounds them; <= 0 renders all), each listing its onsets in saturation
+// order with severity trajectory.
+func Render(series []Series, top int) string {
+	if len(series) == 0 {
+		return "no archived incidents to correlate\n"
+	}
+	cells := map[string]bool{}
+	onsets := 0
+	for _, s := range series {
+		for _, o := range s.Onsets {
+			cells[fmt.Sprintf("%s#%d", o.Cell, o.Round)] = true
+			onsets++
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "cross-cell saturation order: %d resources, %d incidents, %d cell runs\n",
+		len(series), onsets, len(cells))
+	for rank, s := range series {
+		if top > 0 && rank >= top {
+			fmt.Fprintf(&b, "(%d more resources)\n", len(series)-top)
+			break
+		}
+		first := s.First()
+		fmt.Fprintf(&b, "#%d %s %s (%s): %d onsets, first %s at %v\n",
+			rank+1, s.Resource, s.Metric, s.Family, len(s.Onsets), cellRef(first), first.OnsetPS)
+		tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  order\tcell\tonset\tclear\tseverity\tpeak at\tbaseline\tdetector")
+		for i, o := range s.Onsets {
+			clear := "open"
+			switch {
+			case o.Synthetic:
+				clear = fmt.Sprintf("%v (reset)", o.ClearPS)
+			case !o.Open:
+				clear = fmt.Sprintf("%v", o.ClearPS)
+			}
+			fmt.Fprintf(tw, "  %d\t%s\t%v\t%s\t%.2f\t%v\t%.2f\t%s\n",
+				i+1, cellRef(o), o.OnsetPS, clear, o.Severity, o.PeakPS, o.Baseline, o.Detector)
+		}
+		tw.Flush()
+	}
+	return b.String()
+}
+
+// cellRef names an onset's owning cell run, with the -loop round when
+// past the first.
+func cellRef(o Onset) string {
+	name := o.Cell
+	if name == "" {
+		name = "(cell)"
+	}
+	if o.Round > 0 {
+		return fmt.Sprintf("%s#%d", name, o.Round)
+	}
+	return name
+}
+
+// WriteJSON writes the series list as an indented JSON array — the
+// /correlate endpoint's ?format=json wire form.
+func WriteJSON(w io.Writer, series []Series) error {
+	if series == nil {
+		series = []Series{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(series)
+}
+
+// ReadJSON loads a series list written by WriteJSON.
+func ReadJSON(r io.Reader) ([]Series, error) {
+	var out []Series
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("correlate: decoding series: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package correlate
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/anomaly"
+	"repro/internal/units"
+)
+
+// rec builds one folded archive record for the correlation fixtures.
+func rec(cell string, round int, resource string, onset units.Time, clearW int, clearPS units.Time, sev float64, synth bool) anomaly.ArchiveRecord {
+	return anomaly.ArchiveRecord{
+		Cell: cell, Round: round, Event: anomaly.EventUpdate,
+		Incident: anomaly.Incident{
+			Resource: resource, Metric: "wait_ps", Family: "memsys",
+			Detector:    anomaly.DetectorEWMA,
+			OnsetWindow: int(onset / (100 * units.Microsecond)), OnsetStart: onset, OnsetEnd: onset + 100*units.Microsecond,
+			ClearWindow: clearW, ClearEnd: clearPS,
+			Severity: sev, Baseline: 0.02, PeakPS: onset + 50*units.Microsecond,
+			SyntheticClear: synth,
+		},
+	}
+}
+
+func fixture() []anomaly.ArchiveRecord {
+	return []anomaly.ArchiveRecord{
+		// umc0/rd saturates in three cell runs; gmi0 in one, but earlier in
+		// sim-time than umc0/rd's latest. umc9 ties gmi0's first onset but
+		// has fewer onsets than umc0/rd.
+		rec("fig4/s1c2", 0, "umc0/rd", 200*units.Microsecond, -1, 0, 5.5, false),
+		rec("fig4/s1c1", 0, "umc0/rd", 400*units.Microsecond, 9, 1000*units.Microsecond, 3.0, false),
+		rec("fig4/s1c2", 1, "umc0/rd", 300*units.Microsecond, 12, 1300*units.Microsecond, 6.0, true),
+		rec("fig4/s0c2", 0, "gmi0", 500*units.Microsecond, 8, 900*units.Microsecond, 2.0, false),
+	}
+}
+
+func TestCorrelateOrdering(t *testing.T) {
+	series := Correlate(fixture())
+	if len(series) != 2 {
+		t.Fatalf("correlated to %d series, want 2: %+v", len(series), series)
+	}
+	// umc0/rd wins the saturation order: earliest first onset (200us).
+	s := series[0]
+	if s.Resource != "umc0/rd" || len(s.Onsets) != 3 {
+		t.Fatalf("rank 1 = %s with %d onsets, want umc0/rd with 3", s.Resource, len(s.Onsets))
+	}
+	// Within the series: onset sim-time order, cells interleaved.
+	wantOrder := []string{"fig4/s1c2", "fig4/s1c2", "fig4/s1c1"}
+	wantRounds := []int{0, 1, 0}
+	for i, o := range s.Onsets {
+		if o.Cell != wantOrder[i] || o.Round != wantRounds[i] {
+			t.Errorf("onset %d = %s#%d, want %s#%d", i, o.Cell, o.Round, wantOrder[i], wantRounds[i])
+		}
+	}
+	if f := s.First(); !f.Open || f.Severity != 5.5 {
+		t.Errorf("first onset = %+v, want the open severity-5.5 episode", f)
+	}
+	if d := s.Onsets[1].Duration(); d != 1000*units.Microsecond {
+		t.Errorf("synthetic-clear onset duration = %v, want 1000us", d)
+	}
+	if series[1].Resource != "gmi0" {
+		t.Errorf("rank 2 = %s, want gmi0", series[1].Resource)
+	}
+}
+
+func TestCorrelateTieBreaks(t *testing.T) {
+	// Same first-onset time: the resource more cells saturate outranks.
+	recs := []anomaly.ArchiveRecord{
+		rec("a", 0, "one-off", 100, 5, 200, 1, false),
+		rec("a", 0, "everywhere", 100, 5, 200, 1, false),
+		rec("b", 0, "everywhere", 300, 6, 400, 2, false),
+	}
+	series := Correlate(recs)
+	if series[0].Resource != "everywhere" || series[1].Resource != "one-off" {
+		t.Errorf("tie broke to %s, %s; want everywhere first (more onsets)",
+			series[0].Resource, series[1].Resource)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	series := Correlate(fixture())
+	if got := Filter(series, "umc0"); len(got) != 1 || got[0].Resource != "umc0/rd" {
+		t.Errorf("Filter(umc0) = %+v", got)
+	}
+	if got := Filter(series, ""); len(got) != len(series) {
+		t.Errorf("empty filter dropped series")
+	}
+	if got := Filter(series, "nope"); len(got) != 0 {
+		t.Errorf("Filter(nope) = %+v, want none", got)
+	}
+}
+
+func TestRender(t *testing.T) {
+	out := Render(Correlate(fixture()), 0)
+	for _, want := range []string{
+		"cross-cell saturation order: 2 resources, 4 incidents, 4 cell runs",
+		"#1 umc0/rd wait_ps (memsys): 3 onsets, first fig4/s1c2 at 200us",
+		"#2 gmi0",
+		"fig4/s1c2#1",
+		"(reset)",
+		"open",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if top := Render(Correlate(fixture()), 1); !strings.Contains(top, "(1 more resources)") {
+		t.Errorf("top=1 render missing elision note:\n%s", top)
+	}
+	if empty := Render(nil, 0); !strings.Contains(empty, "no archived incidents") {
+		t.Errorf("empty render = %q", empty)
+	}
+}
+
+func TestSeriesJSONRoundTrip(t *testing.T) {
+	want := Correlate(fixture())
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip:\ngot  %+v\nwant %+v", got, want)
+	}
+}

@@ -8,6 +8,7 @@ package anomaly
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 
@@ -25,6 +26,48 @@ type FusedIncident struct {
 	Spans []trace.Span
 	// Txns are the transactions in flight during the window.
 	Txns []trace.TxnRecord
+}
+
+// Annotations converts incidents to trace annotation-track entries: one
+// interval per incident from its onset window's start to its clear stamp
+// (open incidents extend to timelineEnd, clamped to at least the onset
+// window). The exporter adds instant onset/clear markers per entry.
+func Annotations(incs []Incident, timelineEnd units.Time) []trace.Annotation {
+	anns := make([]trace.Annotation, 0, len(incs))
+	for _, in := range incs {
+		end := in.ClearEnd
+		if in.Open() {
+			end = timelineEnd
+			if end < in.OnsetEnd {
+				end = in.OnsetEnd
+			}
+		}
+		anns = append(anns, trace.Annotation{
+			Name:     in.Resource,
+			Start:    in.OnsetStart,
+			End:      end,
+			Open:     in.Open(),
+			Severity: in.Severity,
+			Baseline: in.Baseline,
+			Detector: in.Detector,
+		})
+	}
+	return anns
+}
+
+// WriteFusedTraceEvents writes one Chrome-trace file holding both halves
+// of the fused view: the tracer's span timeline plus the incidents as an
+// annotation track (onset/clear markers with resource and severity
+// args). Open at https://ui.perfetto.dev — the incident intervals sit
+// over the spans of the transactions that crossed the congested
+// resource. The tracer and the incidents' registry must share one engine
+// clock (harness.Figure4FusedCell wires exactly that).
+func WriteFusedTraceEvents(w io.Writer, tr *trace.Tracer, incs []Incident) error {
+	var end units.Time
+	if _, last, ok := tr.TimeRange(); ok {
+		end = last
+	}
+	return tr.WriteTraceEventsAnnotated(w, Annotations(incs, end))
 }
 
 // Fuse joins an incident with the tracer's view of its onset window:

@@ -8,7 +8,9 @@ import (
 	"testing"
 
 	"repro/internal/anomaly"
+	"repro/internal/anomaly/correlate"
 	"repro/internal/metrics"
+	"repro/internal/serve"
 	"repro/internal/trace"
 	"repro/internal/units"
 )
@@ -189,5 +191,193 @@ func TestTraceForcesClassicWarning(t *testing.T) {
 	}
 	if buf.Len() != 0 {
 		t.Errorf("warning repeated: %q", buf.String())
+	}
+}
+
+// TestFig4IncidentJSONRoundTrip is the persistence golden test for the
+// shared-UMC incident: severity refreshes arrive mid-incident as each
+// window is harvested, and both interchange forms — the /incidents JSON
+// feed and the archive's hand-rolled JSONL encoder — must reproduce the
+// incident bit-exactly, peak-timing stamps included.
+func TestFig4IncidentJSONRoundTrip(t *testing.T) {
+	reg := metrics.New(metrics.Config{Window: 25 * units.Microsecond})
+	_, mon, err := Figure4MonitoredCell(quick(), 1, 2, reg, anomaly.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mon.Incidents()
+	var umc *anomaly.Incident
+	for i := range want {
+		if want[i].Resource == "umc0/rd" {
+			umc = &want[i]
+			break
+		}
+	}
+	if umc == nil {
+		t.Fatalf("no umc0/rd incident: %v", anomaly.Report(want))
+	}
+	// The incident carries mid-window severity state: the peak stamps must
+	// point inside the run, at the window whose sample equals Severity.
+	if umc.PeakPS == 0 || umc.PeakWindow < umc.OnsetWindow {
+		t.Fatalf("peak stamps missing: window %d at %v", umc.PeakWindow, umc.PeakPS)
+	}
+	if umc.PeakPS != reg.WindowEnd(umc.PeakWindow) {
+		t.Errorf("PeakPS = %v, want window %d's end %v", umc.PeakPS, umc.PeakWindow, reg.WindowEnd(umc.PeakWindow))
+	}
+
+	// Feed form (anomaly.WriteJSON / ReadJSON).
+	var buf bytes.Buffer
+	if err := anomaly.WriteJSON(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := anomaly.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("feed round trip diverged:\ngot  %+v\nwant %+v", got, want)
+	}
+
+	// Archive form (hand-rolled encoder, stdlib decoder).
+	var jl bytes.Buffer
+	arch := anomaly.NewArchive(&jl)
+	for _, in := range want {
+		arch.Record(anomaly.ArchiveRecord{Cell: "fig4/s1c2", Event: anomaly.EventUpdate, Incident: in})
+	}
+	recs, err := anomaly.ReadArchive(&jl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("archive holds %d records, want %d", len(recs), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(recs[i].Incident, want[i]) {
+			t.Errorf("archive round trip diverged at %d:\ngot  %+v\nwant %+v", i, recs[i].Incident, want[i])
+		}
+	}
+}
+
+// TestCorrelateAcrossConfigs runs two over-subscribing Figure 4 demand
+// configs through the serving fleet's lifecycle pipeline and checks the
+// correlation report names umc0/rd's saturation order across both — the
+// /correlate acceptance path, minus the HTTP layer.
+func TestCorrelateAcrossConfigs(t *testing.T) {
+	fleet := serve.NewFleet()
+	for _, run := range []struct {
+		name string
+		c    int
+	}{{"fig4/s1c2", 2}, {"fig4/s1c3", 3}} {
+		cell := fleet.Add(run.name, 0)
+		reg := metrics.New(metrics.Config{Window: 25 * units.Microsecond})
+		mon := anomaly.Attach(reg, anomaly.Config{})
+		cell.Observe(reg, mon)
+		if _, err := Figure4StatsCell(quick(), 1, run.c, reg); err != nil {
+			t.Fatal(err)
+		}
+		cell.Finish("done", nil)
+	}
+	series := correlate.Correlate(fleet.Records())
+	if len(series) == 0 {
+		t.Fatal("no correlated series from two over-subscribed configs")
+	}
+	var umc *correlate.Series
+	for i := range series {
+		if series[i].Resource == "umc0/rd" {
+			umc = &series[i]
+			break
+		}
+	}
+	if umc == nil {
+		t.Fatalf("no umc0/rd series: %+v", series)
+	}
+	if len(umc.Onsets) < 2 {
+		t.Fatalf("umc0/rd has %d onsets, want one per config", len(umc.Onsets))
+	}
+	cells := map[string]bool{}
+	for _, o := range umc.Onsets {
+		cells[o.Cell] = true
+	}
+	if !cells["fig4/s1c2"] || !cells["fig4/s1c3"] {
+		t.Errorf("saturation order missing a config: %+v", umc.Onsets)
+	}
+	out := correlate.Render(series, 0)
+	if !strings.Contains(out, "umc0/rd") || !strings.Contains(out, "fig4/s1c2") || !strings.Contains(out, "fig4/s1c3") {
+		t.Errorf("report does not name the saturation order:\n%s", out)
+	}
+}
+
+// TestFusedTraceFileAcceptance is the tentpole's end-to-end check: one
+// Chrome-trace file holding both the span timeline and the incident
+// annotation track, where the umc0/rd onset marker lands inside the
+// window whose spans show the queued-time spike.
+func TestFusedTraceFileAcceptance(t *testing.T) {
+	reg := metrics.New(metrics.Config{Window: 25 * units.Microsecond})
+	mon := anomaly.Attach(reg, anomaly.Config{})
+	_, tr, err := Figure4FusedCell(quick(), 1, 2, 0, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var umc *anomaly.Incident
+	for _, in := range mon.Incidents() {
+		if in.Resource == "umc0/rd" {
+			in := in
+			umc = &in
+			break
+		}
+	}
+	if umc == nil {
+		t.Fatalf("no umc0/rd incident: %v", anomaly.Report(mon.Incidents()))
+	}
+
+	var buf bytes.Buffer
+	if err := anomaly.WriteFusedTraceEvents(&buf, tr, mon.Incidents()); err != nil {
+		t.Fatal(err)
+	}
+	ld, err := trace.ReadTraceEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("fused file does not load: %v", err)
+	}
+	if len(ld.Spans) == 0 || len(ld.Annotations) == 0 {
+		t.Fatalf("fused file holds %d spans, %d annotations; want both", len(ld.Spans), len(ld.Annotations))
+	}
+
+	var ann *trace.Annotation
+	for i := range ld.Annotations {
+		if ld.Annotations[i].Name == "umc0/rd" {
+			ann = &ld.Annotations[i]
+			break
+		}
+	}
+	if ann == nil {
+		t.Fatalf("fused file has no umc0/rd annotation: %+v", ld.Annotations)
+	}
+	// The onset marker (the annotation's start) lands inside the onset
+	// window, and the annotation carries the detector's verdict.
+	if ann.Start != umc.OnsetStart || ann.Start >= umc.OnsetEnd {
+		t.Errorf("onset marker at %v, want inside [%v,%v)", ann.Start, umc.OnsetStart, umc.OnsetEnd)
+	}
+	if ann.Severity != umc.Severity || ann.Detector != umc.Detector || ann.Open != umc.Open() {
+		t.Errorf("annotation args = %+v, incident = %+v", ann, umc)
+	}
+
+	// The same file's spans show the spike: queued time on the umc0/rd hop
+	// inside the onset window.
+	win := ld.Window(umc.OnsetStart, umc.OnsetEnd)
+	var queued units.Time
+	for _, s := range win.Spans {
+		if int(s.Hop) < len(ld.Hops) && ld.Hops[s.Hop].Name == "umc0/rd" && s.Cause == trace.CauseQueued {
+			from, to := s.Start, s.End
+			if from < umc.OnsetStart {
+				from = umc.OnsetStart
+			}
+			if to > umc.OnsetEnd {
+				to = umc.OnsetEnd
+			}
+			queued += to - from
+		}
+	}
+	if queued == 0 {
+		t.Error("onset window's spans show no queued time on the umc0/rd hop")
 	}
 }

@@ -189,6 +189,16 @@ func WriteOpenMetrics(w io.Writer, s Source) error {
 // WriteOpenMetrics rides this path. names and cells must be parallel
 // slices.
 func WriteOpenMetricsFleet(w io.Writer, names []string, cells []Source) error {
+	return WriteOpenMetricsFleetWith(w, names, cells, nil)
+}
+
+// WriteOpenMetricsFleetWith is WriteOpenMetricsFleet with extra
+// exposition lines appended between the cell samples and the # EOF
+// terminator — service-level families (webhook delivery counters,
+// archive totals) that belong in the same scrape as the fleet's
+// simulated metrics. extra must write complete OpenMetrics families
+// (TYPE header included) and may be nil.
+func WriteOpenMetricsFleetWith(w io.Writer, names []string, cells []Source, extra func(io.Writer) error) error {
 	if len(names) != len(cells) {
 		return fmt.Errorf("metrics: %d cell names for %d sources", len(names), len(cells))
 	}
@@ -251,6 +261,11 @@ func WriteOpenMetricsFleet(w io.Writer, names []string, cells []Source) error {
 					return err
 				}
 			}
+		}
+	}
+	if extra != nil {
+		if err := extra(w); err != nil {
+			return err
 		}
 	}
 	_, err := fmt.Fprintln(w, "# EOF")

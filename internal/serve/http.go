@@ -6,11 +6,13 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
 
 	"repro/internal/anomaly"
+	"repro/internal/anomaly/correlate"
 	"repro/internal/metrics"
 )
 
@@ -31,6 +33,7 @@ type CellIncident struct {
 //	/metrics     OpenMetrics exposition, one cell label per cell
 //	/incidents   incidents JSON feed (?cell= filters, ?open=1 only open)
 //	/bottlenecks per-window bottleneck table (?cell=, ?window=, ?top=)
+//	/correlate   cross-cell saturation order (?resource=, ?top=, ?format=json)
 //	/cells       cell status JSON
 func (f *Fleet) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -38,6 +41,7 @@ func (f *Fleet) Handler() http.Handler {
 	mux.HandleFunc("/metrics", f.handleMetrics)
 	mux.HandleFunc("/incidents", f.handleIncidents)
 	mux.HandleFunc("/bottlenecks", f.handleBottlenecks)
+	mux.HandleFunc("/correlate", f.handleCorrelate)
 	mux.HandleFunc("/cells", f.handleCells)
 	return mux
 }
@@ -52,6 +56,7 @@ func (f *Fleet) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /metrics      OpenMetrics exposition")
 	fmt.Fprintln(w, "  /incidents    incidents JSON (?cell=NAME&open=1)")
 	fmt.Fprintln(w, "  /bottlenecks  bottleneck table (?cell=NAME&window=N&top=K)")
+	fmt.Fprintln(w, "  /correlate    cross-cell saturation order (?resource=NAME&top=K&format=json)")
 	fmt.Fprintln(w, "  /cells        cell status JSON")
 	fmt.Fprintln(w, "cells:")
 	for _, s := range f.Snapshots() {
@@ -79,12 +84,71 @@ func (f *Fleet) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", openMetricsContentType)
 	if len(cells) == 0 {
+		f.writeServiceMetrics(w)
 		fmt.Fprintln(w, "# EOF")
 		return
 	}
-	if err := metrics.WriteOpenMetricsFleet(w, names, cells); err != nil {
+	err := metrics.WriteOpenMetricsFleetWith(w, names, cells, func(w io.Writer) error {
+		f.writeServiceMetrics(w)
+		return nil
+	})
+	if err != nil {
 		// Headers are gone; nothing to do but note it mid-stream.
 		fmt.Fprintf(w, "# exposition aborted: %v\n", err)
+	}
+}
+
+// writeServiceMetrics appends the pipeline's own counters to the scrape:
+// webhook delivery/drop totals and archive append totals. The drop
+// counters are the operator's alert-loss and history-loss signals.
+func (f *Fleet) writeServiceMetrics(w io.Writer) {
+	f.mu.Lock()
+	notifier, archive := f.notifier, f.archive
+	f.mu.Unlock()
+	counter := func(name string, v uint64) {
+		fmt.Fprintf(w, "# TYPE %s counter\n%s_total %d\n", name, name, v)
+	}
+	if notifier != nil {
+		counter("chipletserve_webhook_delivered", notifier.Delivered())
+		counter("chipletserve_webhook_retries", notifier.Retries())
+		counter("chipletserve_webhook_dropped", notifier.Dropped())
+	}
+	if archive != nil {
+		counter("chipletserve_archive_records", uint64(archive.Records()))
+		counter("chipletserve_archive_rotations", uint64(archive.Rotations()))
+		counter("chipletserve_archive_dropped", uint64(archive.Dropped()))
+	}
+	counter("chipletserve_history_dropped", uint64(f.hist.Dropped()))
+}
+
+// handleCorrelate serves the cross-cell saturation-order report over the
+// fleet's folded incident view (history plus live mirrors): text by
+// default, JSON with ?format=json; ?resource= substring-filters the
+// series, ?top= bounds them.
+func (f *Fleet) handleCorrelate(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	top := 0
+	if s := q.Get("top"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			http.Error(w, fmt.Sprintf("bad top=%q", s), http.StatusBadRequest)
+			return
+		}
+		top = v
+	}
+	series := correlate.Filter(correlate.Correlate(f.Records()), q.Get("resource"))
+	switch q.Get("format") {
+	case "", "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, correlate.Render(series, top))
+	case "json":
+		if top > 0 && top < len(series) {
+			series = series[:top]
+		}
+		w.Header().Set("Content-Type", "application/json")
+		correlate.WriteJSON(w, series)
+	default:
+		http.Error(w, fmt.Sprintf("bad format=%q; choose text or json", q.Get("format")), http.StatusBadRequest)
 	}
 }
 

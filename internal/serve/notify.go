@@ -1,0 +1,170 @@
+// Webhook incident push: the outbound leg of the incident lifecycle
+// pipeline. A Notifier is an anomaly.Sink that POSTs each lifecycle
+// record as JSON to a set of registered HTTP targets — the shape every
+// alerting stack (Alertmanager, Slack bridges, pager webhooks) ingests.
+//
+// The harvest tick must never block on the network, so Record only
+// enqueues: a bounded channel feeds one delivery goroutine, and an
+// enqueue against a full queue drops the record and counts it. Each
+// delivery gets a bounded retry budget with exponential backoff per
+// target; exhausting it drops that (record, target) pair and counts it.
+// The drop counter — the operator's signal that alerts are being lost —
+// is exposed on the fleet's /metrics exposition.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/anomaly"
+)
+
+// NotifierConfig tunes webhook delivery.
+type NotifierConfig struct {
+	// Retries is how many times a failed POST is retried per target
+	// (default 3; the first attempt is not a retry; negative means no
+	// retries at all).
+	Retries int
+	// Backoff is the wait before the first retry, doubling per retry
+	// (default 100ms).
+	Backoff time.Duration
+	// Timeout bounds each POST (default 2s). Ignored when Client is set.
+	Timeout time.Duration
+	// QueueCap bounds records awaiting delivery (default 256); a full
+	// queue drops new records rather than blocking the harvest tick.
+	QueueCap int
+	// Client overrides the HTTP client (tests inject short timeouts).
+	Client *http.Client
+}
+
+func (c NotifierConfig) withDefaults() NotifierConfig {
+	if c.Retries < 0 {
+		c.Retries = 0
+	} else if c.Retries == 0 {
+		c.Retries = 3
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 100 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 256
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: c.Timeout}
+	}
+	return c
+}
+
+// Notifier pushes incident lifecycle records to webhook targets. Build
+// with NewNotifier; it implements anomaly.Sink. Close drains the queue
+// and stops the delivery goroutine.
+type Notifier struct {
+	targets []string
+	cfg     NotifierConfig
+	queue   chan anomaly.ArchiveRecord
+
+	closeOnce sync.Once
+	doneWG    sync.WaitGroup
+
+	delivered atomic.Uint64 // successful (record, target) deliveries
+	retries   atomic.Uint64 // retry attempts beyond each first POST
+	dropped   atomic.Uint64 // records lost: queue overflow, or retry budget exhausted per target
+}
+
+// NewNotifier builds a notifier POSTing to targets and starts its
+// delivery goroutine. An empty target list is allowed (everything counts
+// as delivered trivially — the notifier is then inert).
+func NewNotifier(targets []string, cfg NotifierConfig) *Notifier {
+	n := &Notifier{
+		targets: append([]string(nil), targets...),
+		cfg:     cfg.withDefaults(),
+	}
+	n.queue = make(chan anomaly.ArchiveRecord, n.cfg.QueueCap)
+	n.doneWG.Add(1)
+	go n.deliverLoop()
+	return n
+}
+
+// Record enqueues one lifecycle record for delivery. It never blocks:
+// when the queue is full the record is dropped and counted.
+func (n *Notifier) Record(rec anomaly.ArchiveRecord) {
+	select {
+	case n.queue <- rec:
+	default:
+		n.dropped.Add(1)
+	}
+}
+
+// Close stops accepting records, waits for the queue to drain (pending
+// deliveries still run their retry budget), and returns.
+func (n *Notifier) Close() {
+	n.closeOnce.Do(func() { close(n.queue) })
+	n.doneWG.Wait()
+}
+
+// Delivered, Retries and Dropped report delivery counters. Dropped is
+// the operator's data-loss signal, exposed on /metrics as
+// chipletserve_webhook_dropped_total.
+func (n *Notifier) Delivered() uint64 { return n.delivered.Load() }
+func (n *Notifier) Retries() uint64   { return n.retries.Load() }
+func (n *Notifier) Dropped() uint64   { return n.dropped.Load() }
+
+// Targets reports the registered webhook URLs.
+func (n *Notifier) Targets() []string { return append([]string(nil), n.targets...) }
+
+// deliverLoop serializes deliveries so per-target event order matches
+// record order.
+func (n *Notifier) deliverLoop() {
+	defer n.doneWG.Done()
+	for rec := range n.queue {
+		body, err := json.Marshal(rec)
+		if err != nil {
+			n.dropped.Add(uint64(len(n.targets)))
+			continue
+		}
+		for _, target := range n.targets {
+			if n.post(target, body) {
+				n.delivered.Add(1)
+			} else {
+				n.dropped.Add(1)
+			}
+		}
+	}
+}
+
+// post attempts one delivery with the bounded retry/backoff budget.
+func (n *Notifier) post(target string, body []byte) bool {
+	backoff := n.cfg.Backoff
+	for attempt := 0; ; attempt++ {
+		err := n.postOnce(target, body)
+		if err == nil {
+			return true
+		}
+		if attempt >= n.cfg.Retries {
+			return false
+		}
+		n.retries.Add(1)
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+func (n *Notifier) postOnce(target string, body []byte) error {
+	resp, err := n.cfg.Client.Post(target, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("serve: webhook %s: status %d", target, resp.StatusCode)
+	}
+	return nil
+}

@@ -252,7 +252,7 @@ func TestConcurrentScrape(t *testing.T) {
 	}()
 
 	var wg sync.WaitGroup
-	for _, path := range []string{"/metrics", "/incidents", "/bottlenecks", "/cells", "/"} {
+	for _, path := range []string{"/metrics", "/incidents", "/incidents?open=1", "/bottlenecks", "/correlate", "/correlate?format=json", "/cells", "/"} {
 		wg.Add(1)
 		go func(p string) {
 			defer wg.Done()

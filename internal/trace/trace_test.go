@@ -303,3 +303,84 @@ func TestLoadedSpansInWindow(t *testing.T) {
 			len(win.Spans), len(win.Hops), len(got), len(ld.Hops))
 	}
 }
+
+// TestAnnotatedExportRoundTrip: a trace written with an incident
+// annotation track must read back with the annotations intact, the spans
+// unchanged, and no phantom hop registered for the annotation track.
+func TestAnnotatedExportRoundTrip(t *testing.T) {
+	tr := New(Config{SpanCap: 16, TxnCap: 8})
+	hop := tr.RegisterHop("umc0/rd", KindChannel)
+	tr.Enable()
+	tr.SetActive(5)
+	tr.Range(hop, CauseQueued, 1000, 9000)
+	tr.Range(hop, CauseService, 9000, 12000)
+	tr.EndTxn(5, 1000, 12000)
+
+	anns := []Annotation{
+		{Name: "umc0/rd", Start: 2000, End: 11000, Severity: 5.5, Baseline: 0.02, Detector: "ewma"},
+		{Name: "gmi0", Start: 4000, End: 12000, Open: true, Severity: 1.25, Detector: "ewma+ph"},
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteTraceEventsAnnotated(&buf, anns); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.String()
+	// One Chrome-trace file: plain valid JSON, the annotation track
+	// metadata, onset markers for both, a clear marker only for the closed
+	// annotation.
+	var generic map[string]any
+	if err := json.Unmarshal([]byte(raw), &generic); err != nil {
+		t.Fatalf("fused export is not valid JSON: %v", err)
+	}
+	for _, want := range []string{`"kind":"incidents"`, `"onset umc0/rd"`, `"clear umc0/rd"`, `"onset gmi0"`} {
+		if !strings.Contains(raw, want) {
+			t.Errorf("fused export missing %s", want)
+		}
+	}
+	if strings.Contains(raw, `"clear gmi0"`) {
+		t.Error("open annotation wrote a clear marker")
+	}
+
+	ld, err := ReadTraceEvents(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ld.Hops) != 1 || ld.Hops[0].Name != "umc0/rd" {
+		t.Fatalf("annotation track registered a phantom hop: %+v", ld.Hops)
+	}
+	var orig []Span
+	tr.EachSpan(func(s Span) { orig = append(orig, s) })
+	if len(ld.Spans) != len(orig) {
+		t.Fatalf("got %d spans, want %d", len(ld.Spans), len(orig))
+	}
+	for i := range orig {
+		if ld.Spans[i] != orig[i] {
+			t.Fatalf("span %d changed under annotations: %+v vs %+v", i, ld.Spans[i], orig[i])
+		}
+	}
+	if len(ld.Annotations) != len(anns) {
+		t.Fatalf("got %d annotations, want %d: %+v", len(ld.Annotations), len(anns), ld.Annotations)
+	}
+	for i := range anns {
+		if ld.Annotations[i] != anns[i] {
+			t.Fatalf("annotation %d did not round trip: %+v vs %+v", i, ld.Annotations[i], anns[i])
+		}
+	}
+
+	// Re-exporting the loaded trace preserves the annotation track.
+	var buf2 bytes.Buffer
+	if err := ld.WriteTraceEvents(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	ld2, err := ReadTraceEvents(&buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ld2.Annotations) != len(anns) || len(ld2.Spans) != len(orig) {
+		t.Fatalf("re-export lost content: %d annotations, %d spans", len(ld2.Annotations), len(ld2.Spans))
+	}
+	// Window views keep the annotations alongside the filtered spans.
+	if w := ld.Window(9000, 12000); len(w.Annotations) != len(anns) {
+		t.Fatalf("Window dropped annotations: %+v", w.Annotations)
+	}
+}
