@@ -114,3 +114,23 @@ if echo "$bench" | grep 'BenchmarkNetworkIssue' | grep -qv ' 0 allocs/op'; then
     echo "transaction pipeline allocates on the steady-state path" >&2
     exit 1
 fi
+
+# The express-path fusion layer must be allocation-free too: fused
+# segments ride recycled walker frames, in-place departure-stamp rings
+# and memoized serialization times — no closure or ring growth in steady
+# state.
+bench=$(go test ./internal/core/ -run '^$' -bench 'BenchmarkExpressPath' -benchtime 5000x)
+echo "$bench"
+if echo "$bench" | grep 'BenchmarkExpressPath' | grep -qv ' 0 allocs/op'; then
+    echo "express-path fusion allocates on the steady-state path" >&2
+    exit 1
+fi
+
+# Fusion-effectiveness gate: the full-length 7302 inter-CC IF cell must
+# elide >= 40% of its classic-equivalent event load (>= 1.5x
+# classic-equivalent events advanced per executed event, >= 50% of the
+# per-message depart/delivery pairs). The ledger is seed-exact, so the
+# gate is deterministic — wall clocks on shared hosts are not, which is
+# why the events-per-second claim is gated through the event counts that
+# compose it rather than a timed run.
+CHIPLET_FUSION_GATE=1 go test ./internal/harness/ -run TestFusionEffectivenessGate -v -count=1 -timeout 600s

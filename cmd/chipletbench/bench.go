@@ -35,7 +35,8 @@ type benchReport struct {
 	// whole-pipeline counterpart of the engine micro-benchmarks.
 	NetworkIssue map[string]benchMeasurement `json:"network_issue"`
 	// CellThroughput times one full Figure 4 cell on the partitioned
-	// engine at 1, 2 and 4 domain workers (see benchCellThroughput).
+	// engine at 1, 2 and 4 domain workers, once per -gomaxprocs value
+	// (see benchCellThroughput).
 	CellThroughput   []cellThroughput `json:"cell_throughput"`
 	ReproduceScale   int              `json:"reproduce_scale"`
 	ReproduceSeconds float64          `json:"reproduce_seconds"`
@@ -47,65 +48,88 @@ type benchReport struct {
 // Epochs/EventsPerEpoch/SerialEpochShare expose the adaptive epoch
 // scheduler's coordination cost (how much work each barrier buys, and how
 // often auto-degrade chose the serial fast path).
+// Events and EventsPerSec count executed calendar events — the engine's
+// dispatch cost. EventsFused counts the classic-equivalent events
+// express-path fusion elided (closed-form hops and departure stamps);
+// FusionRate is the elided share of the classic-equivalent total, and
+// EffectiveEventsPerSec is that total over wall time — simulated progress
+// per second, the number to compare against pre-fusion baselines (where
+// EventsFused is 0 and the two rates coincide).
 type cellThroughput struct {
-	Domains          int     `json:"domains"`
-	GoMaxProcs       int     `json:"gomaxprocs"`
-	Seconds          float64 `json:"seconds"`
-	Events           uint64  `json:"events"`
-	EventsPerSec     float64 `json:"events_per_sec"`
-	Speedup          float64 `json:"speedup_vs_serial"`
-	Epochs           uint64  `json:"epochs"`
-	EventsPerEpoch   float64 `json:"events_per_epoch"`
-	SerialEpochShare float64 `json:"serial_epoch_share"`
-	MailboxPosts     uint64  `json:"mailbox_posts"`
-	Degrades         uint64  `json:"degrades"`
-	Expands          uint64  `json:"expands"`
+	Domains               int     `json:"domains"`
+	GoMaxProcs            int     `json:"gomaxprocs"`
+	Seconds               float64 `json:"seconds"`
+	Events                uint64  `json:"events"`
+	EventsFused           uint64  `json:"events_fused"`
+	FusionRate            float64 `json:"fusion_rate"`
+	EventsPerSec          float64 `json:"events_per_sec"`
+	EffectiveEventsPerSec float64 `json:"effective_events_per_sec"`
+	Speedup               float64 `json:"speedup_vs_serial"`
+	Epochs                uint64  `json:"epochs"`
+	EventsPerEpoch        float64 `json:"events_per_epoch"`
+	SerialEpochShare      float64 `json:"serial_epoch_share"`
+	MailboxPosts          uint64  `json:"mailbox_posts"`
+	Degrades              uint64  `json:"degrades"`
+	Expands               uint64  `json:"expands"`
 }
 
 // benchCellThroughput times one full Figure 4 cell — the 7302 inter-CC
 // IF scenario under equal over-subscribing demands, the cell with the
 // most concurrently-busy domains (two source chiplets, the target
 // chiplet and the I/O-die hub) — on the partitioned engine with 1, 2
-// and 4 domain workers. Events/sec divides the executed simulation
-// events by wall time; speedup is relative to the serial -domains 1 run
-// of the identical epoch schedule. All three rows compute byte-identical
-// results; only the wall time may differ. On a single-core host the
-// parallel rows cannot win (the lockstep epochs just take turns on one
-// P), so judge the speedup column against gomaxprocs.
-func benchCellThroughput() ([]cellThroughput, error) {
+// and 4 domain workers, repeated for each requested GOMAXPROCS value.
+// Events/sec divides the executed simulation events by wall time;
+// speedup is relative to the serial -domains 1 run of the identical
+// epoch schedule at the same GOMAXPROCS. Every row computes
+// byte-identical results; only the wall time may differ. On a
+// single-core run the parallel rows cannot win (the lockstep epochs
+// just take turns on one P) and the cluster auto-degrades to serial
+// dispatch — expect Degrades > 0 and a SerialEpochShare near 1 on the
+// gomaxprocs=1 rows; that is the machinery working, not a bug.
+func benchCellThroughput(gmps []int) ([]cellThroughput, error) {
 	sc := harness.Figure4Scenarios()[3]
 	c := harness.Fig4Cases()[2]
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
 	var out []cellThroughput
-	var serial float64
-	for _, d := range []int{1, 2, 4} {
-		opt := harness.Options{Seed: 42, TimeScale: 1, Domains: d}
-		start := time.Now()
-		_, perf, err := harness.Figure4CellThroughput(sc, c, opt)
-		if err != nil {
-			return nil, err
+	for _, g := range gmps {
+		runtime.GOMAXPROCS(g)
+		var serial float64
+		for _, d := range []int{1, 2, 4} {
+			opt := harness.Options{Seed: 42, TimeScale: 1, Domains: d}
+			start := time.Now()
+			_, perf, err := harness.Figure4CellThroughput(sc, c, opt)
+			if err != nil {
+				return nil, err
+			}
+			secs := time.Since(start).Seconds()
+			eps := float64(perf.Events) / secs
+			if d == 1 {
+				serial = eps
+			}
+			total := perf.Events + perf.Fused
+			cs := perf.Cluster
+			row := cellThroughput{
+				Domains: d, GoMaxProcs: g,
+				Seconds: secs, Events: perf.Events,
+				EventsFused:           perf.Fused,
+				FusionRate:            float64(perf.Fused) / float64(total),
+				EventsPerSec:          eps,
+				EffectiveEventsPerSec: float64(total) / secs,
+				Speedup:               eps / serial,
+				Epochs:                cs.Epochs,
+				MailboxPosts:          cs.Posted,
+				Degrades:              cs.Degrades,
+				Expands:               cs.Expands,
+			}
+			if cs.Epochs > 0 {
+				row.EventsPerEpoch = float64(perf.Events) / float64(cs.Epochs)
+				row.SerialEpochShare = float64(cs.SerialEpochs) / float64(cs.Epochs)
+			}
+			out = append(out, row)
+			fmt.Printf("CellThroughput gomaxprocs=%d domains=%d  %.2fs  %d events + %d fused (%.0f%% elided)  %.0f events/s (%.0f effective)  %.2fx  %d epochs  %.0f ev/epoch  %.0f%% serial-dispatch\n",
+				g, d, secs, perf.Events, perf.Fused, 100*row.FusionRate, eps, row.EffectiveEventsPerSec, row.Speedup, cs.Epochs, row.EventsPerEpoch, 100*row.SerialEpochShare)
 		}
-		secs := time.Since(start).Seconds()
-		eps := float64(perf.Events) / secs
-		if d == 1 {
-			serial = eps
-		}
-		cs := perf.Cluster
-		row := cellThroughput{
-			Domains: d, GoMaxProcs: runtime.GOMAXPROCS(0),
-			Seconds: secs, Events: perf.Events,
-			EventsPerSec: eps, Speedup: eps / serial,
-			Epochs:       cs.Epochs,
-			MailboxPosts: cs.Posted,
-			Degrades:     cs.Degrades,
-			Expands:      cs.Expands,
-		}
-		if cs.Epochs > 0 {
-			row.EventsPerEpoch = float64(perf.Events) / float64(cs.Epochs)
-			row.SerialEpochShare = float64(cs.SerialEpochs) / float64(cs.Epochs)
-		}
-		out = append(out, row)
-		fmt.Printf("CellThroughput domains=%d  %.2fs  %d events  %.0f events/s  %.2fx  %d epochs  %.0f ev/epoch  %.0f%% serial-dispatch\n",
-			d, secs, perf.Events, eps, row.Speedup, cs.Epochs, row.EventsPerEpoch, 100*row.SerialEpochShare)
 	}
 	return out, nil
 }
@@ -170,7 +194,7 @@ func measure(r testing.BenchmarkResult) benchMeasurement {
 // runBenchSuite mirrors the internal/sim benchmarks (single-event churn
 // and wide fanout) and times the full experiment suite at -scale 8, then
 // writes the JSON report.
-func runBenchSuite(path string) error {
+func runBenchSuite(path string, gmps []int) error {
 	churn := testing.Benchmark(func(b *testing.B) {
 		e := sim.New(1)
 		b.ReportAllocs()
@@ -204,7 +228,7 @@ func runBenchSuite(path string) error {
 
 	netIssue := benchNetworkIssue()
 
-	cells, err := benchCellThroughput()
+	cells, err := benchCellThroughput(gmps)
 	if err != nil {
 		return err
 	}

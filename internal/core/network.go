@@ -133,6 +133,10 @@ type Network struct {
 	// prove pooling is invisible to results.
 	recycle bool
 
+	// express is the event-fusion switch the differential determinism
+	// tests flip off to prove fused execution is invisible to results.
+	express bool
+
 	// Flight recorder (nil unless AttachTracer wired one in) and the
 	// path-stage hops the issuing layer attributes to directly.
 	tracer   *trace.Tracer
@@ -394,6 +398,7 @@ func (n *Network) build() {
 		}
 	}
 	n.recycle = true
+	n.express = true
 	n.buildPoolSets()
 	n.buildMatrixKeys()
 }
@@ -522,6 +527,15 @@ func (n *Network) SetRecycling(on bool) { n.recycle = on }
 // Recycling reports whether free-list reuse is enabled.
 func (n *Network) Recycling() bool { return n.recycle }
 
+// SetExpress toggles express-path event fusion. Fusion is on by default;
+// with it off every hop runs as a classic calendar event. Results are
+// byte-identical either way — completion times, metrics dumps and trace
+// exports — which the TestFusionInvisible differential suite proves.
+func (n *Network) SetExpress(on bool) { n.express = on }
+
+// Express reports whether express-path event fusion is enabled.
+func (n *Network) Express() bool { return n.express }
+
 // Engine reports the simulation engine driving a classic network. A
 // partitioned network has no single engine: it panics there, forcing
 // callers onto EngineFor/ControlEngine/Runner, where the domain is
@@ -594,6 +608,18 @@ func (n *Network) EventsExecuted() uint64 {
 		return n.cl.Executed()
 	}
 	return n.eng.Executed()
+}
+
+// EventsFused reports the calendar events express-path fusion elided:
+// hops and timers whose bookkeeping was applied in closed form instead of
+// being dispatched. EventsExecuted + EventsFused equals the classic
+// (fusion-off) event count for the same run — the effective simulated
+// work — which is what throughput benchmarks should divide by seconds.
+func (n *Network) EventsFused() uint64 {
+	if n.cl != nil {
+		return n.cl.Fused()
+	}
+	return n.eng.Fused()
 }
 
 // Profile reports the platform profile the network was built from.

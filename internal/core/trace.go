@@ -151,6 +151,53 @@ func (n *Network) trHubHops(shops, hub, rc units.Time) {
 	n.tracer.Range(n.noc.RootHop(), trace.CauseProcessing, now-rc, now)
 }
 
+// The walker-clock variants below anchor on w.vnow instead of the engine
+// clock: a fused state runs at a virtual timestamp ahead of the engine,
+// and its spans must carry the stamps the classic execution would have
+// recorded. At a real resumption vnow equals the engine clock, so these
+// are drop-in replacements for the Network helpers on every walker path.
+
+// trBefore attributes the d just elapsed before the walker's virtual
+// clock to a stage.
+func (w *walker) trBefore(hop trace.HopID, cause trace.Cause, d units.Time) {
+	if n := w.n; n.tracer != nil {
+		n.tracer.Range(hop, cause, w.vnow-d, w.vnow)
+	}
+}
+
+// trAfter attributes the d about to elapse after the walker's virtual
+// clock to a stage.
+func (w *walker) trAfter(hop trace.HopID, cause trace.Cause, d units.Time) {
+	if n := w.n; n.tracer != nil {
+		n.tracer.Range(hop, cause, w.vnow, w.vnow+d)
+	}
+}
+
+// trMeshHops retroactively attributes a memory-path NoC crossing that
+// just completed at the walker's virtual clock.
+func (w *walker) trMeshHops(shops, cs units.Time) {
+	n := w.n
+	if n.tracer == nil {
+		return
+	}
+	now := w.vnow
+	n.tracer.Range(n.noc.ShopsHop(), trace.CausePropagating, now-cs-shops, now-cs)
+	n.tracer.Range(n.noc.CSHop(), trace.CauseProcessing, now-cs, now)
+}
+
+// trHubHops retroactively attributes a device-path NoC crossing that just
+// completed at the walker's virtual clock.
+func (w *walker) trHubHops(shops, hub, rc units.Time) {
+	n := w.n
+	if n.tracer == nil {
+		return
+	}
+	now := w.vnow
+	n.tracer.Range(n.noc.ShopsHop(), trace.CausePropagating, now-rc-hub-shops, now-rc-hub)
+	n.tracer.Range(n.noc.IOHubHop(), trace.CauseProcessing, now-rc-hub, now-rc)
+	n.tracer.Range(n.noc.RootHop(), trace.CauseProcessing, now-rc, now)
+}
+
 // Pools returns every hardware token pool in the network — the per-queue
 // half of the counter registry, alongside Channels.
 func (n *Network) Pools() []*link.TokenPool {

@@ -150,7 +150,8 @@ func figure4CellObserved(sc Fig4Scenario, c Fig4Case, opt Options, tr *trace.Tra
 // adaptive epoch scheduler is judged on. Partitioned is false for a
 // classic single-engine cell, whose Cluster counters are all zero.
 type CellPerf struct {
-	Events      uint64
+	Events      uint64 // calendar events dispatched
+	Fused       uint64 // events elided by express-path fusion
 	Partitioned bool
 	Cluster     sim.ClusterStats
 }
@@ -204,6 +205,7 @@ func figure4CellCounted(sc Fig4Scenario, c Fig4Case, opt Options, tr *trace.Trac
 	}
 	perf := CellPerf{
 		Events:      net.EventsExecuted(),
+		Fused:       net.EventsFused(),
 		Partitioned: net.Cluster() != nil,
 		Cluster:     net.ClusterStats(),
 	}

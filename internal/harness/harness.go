@@ -36,6 +36,13 @@ type Options struct {
 	// network the harness builds. Results are byte-identical either way;
 	// the determinism guard test flips this to prove pooling is invisible.
 	DisableRecycle bool
+	// NoFusion turns off express-path event fusion in every network the
+	// harness builds. Results are byte-identical either way — fusion
+	// collapses uncontended hop chains into closed-form bookkeeping
+	// without changing any observable — so this switch exists for the
+	// differential determinism tests and for benchmarking the classic
+	// event-per-hop execution cost.
+	NoFusion bool
 	// Domains selects the intra-cell parallel engine. 0 (the default)
 	// builds the classic single-engine network, preserving the seeded
 	// outputs committed before the partitioned engine existed. N >= 1
@@ -72,6 +79,9 @@ func (o Options) newNet(p *topology.Profile) *core.Network {
 	if o.DisableRecycle {
 		n.SetRecycling(false)
 	}
+	if o.NoFusion {
+		n.SetExpress(false)
+	}
 	return n
 }
 
@@ -96,6 +106,9 @@ func (o Options) newCellNet(p *topology.Profile, forceClassic bool) *core.Networ
 	n := core.NewPartitioned(o.Seed, p, o.domainWorkers())
 	if o.DisableRecycle {
 		n.SetRecycling(false)
+	}
+	if o.NoFusion {
+		n.SetExpress(false)
 	}
 	return n
 }

@@ -34,8 +34,30 @@ type Channel struct {
 	latency  units.Time      // propagation delay after serialization
 	depth    int             // max messages queued or in service; 0 = unbounded
 
-	queued   int        // messages accepted but not yet fully serialized
+	queued   int        // nil-delivery messages accepted but not yet fully serialized
 	nextFree units.Time // when the serializer finishes its current backlog
+
+	// dep is the FIFO ring of pending departure stamps. A channel's
+	// depart event has exactly one effect — releasing its queue slot at a
+	// stamp that is fully determined at enqueue time — so instead of
+	// scheduling 2x events per message, every send records (done, seq)
+	// here and occupancy readings purge stamps the classic depart event
+	// would already have run for: done before now, or done at now with
+	// the reserved sequence number below the dispatching event's. Stamps
+	// are monotone in (done, seq) because done always equals the new
+	// nextFree. Only nil-delivery sends still schedule a real depart
+	// event: it may be the calendar's last event, and the engine's final
+	// clock after an unbounded Run must not shift.
+	dep     []departure
+	depHead int
+
+	// memoSize/memoTx are a one-entry serialization-time memo: a channel
+	// carries a handful of fixed message sizes (requests, cache lines,
+	// acks) and usually the same one back to back, so the float divide
+	// and round inside Bandwidth.TimeToSend are worth short-circuiting
+	// on the per-message hot path.
+	memoSize units.ByteSize
+	memoTx   units.Time
 
 	refused  uint64 // sends refused due to a full queue (backpressure events)
 	busy     units.Time
@@ -77,6 +99,52 @@ func NewChannel(eng *sim.Engine, name string, capacity units.Bandwidth, latency 
 // depart marks the message at the head of the serializer finished.
 func (c *Channel) depart() { c.queued-- }
 
+// timeToSend is capacity.TimeToSend behind the one-entry memo.
+func (c *Channel) timeToSend(size units.ByteSize) units.Time {
+	if size != c.memoSize {
+		c.memoSize = size
+		c.memoTx = c.capacity.TimeToSend(size)
+	}
+	return c.memoTx
+}
+
+// departure is one pending elided-depart record: the stamp the message
+// finishes serializing, and the sequence number its depart event reserved.
+type departure struct {
+	done units.Time
+	seq  uint64
+}
+
+// purgeDepartures drops every departure stamp whose classic depart event
+// would already have run: earlier than now, or at now with a sequence
+// number the current dispatch has passed. The predicate is monotone in
+// execution order, so purging destructively is safe.
+func (c *Channel) purgeDepartures() {
+	now := c.eng.Now()
+	cur := c.eng.CurSeq()
+	for c.depHead < len(c.dep) {
+		d := c.dep[c.depHead]
+		if d.done > now || (d.done == now && d.seq > cur) {
+			break
+		}
+		c.depHead++
+	}
+	if c.depHead == len(c.dep) {
+		c.dep = c.dep[:0]
+		c.depHead = 0
+	}
+}
+
+// pushDeparture records one message's departure stamp in place of its
+// depart event, reserving the sequence number the event would have used
+// (keeping every later tie-break classic) and crediting the elision to
+// the engine's fused counter.
+func (c *Channel) pushDeparture(done units.Time) {
+	c.purgeDepartures()
+	c.dep = append(c.dep, departure{done: done, seq: c.eng.ReserveSeq()})
+	c.eng.NoteFused(1)
+}
+
 // SetTracer attaches the flight recorder, registering this channel as a
 // hop named after it. Attach at most once per tracer, before running
 // traffic; nil detaches.
@@ -106,8 +174,16 @@ func (c *Channel) Capacity() units.Bandwidth { return c.capacity }
 // Depth reports the queue bound (0 = unbounded).
 func (c *Channel) Depth() int { return c.depth }
 
+// occupancy is the classically-exact count of messages accepted but not
+// fully serialized: the live departure stamps plus the nil-delivery
+// messages still tracked by real depart events.
+func (c *Channel) occupancy() int {
+	c.purgeDepartures()
+	return len(c.dep) - c.depHead + c.queued
+}
+
 // Queued reports the messages currently accepted but not fully serialized.
-func (c *Channel) Queued() int { return c.queued }
+func (c *Channel) Queued() int { return c.occupancy() }
 
 // TrySend attempts to enqueue a message of the given size. If the queue is
 // full it reports false and the message is NOT accepted — the caller owns
@@ -121,7 +197,7 @@ func (c *Channel) TrySend(size units.ByteSize, deliver func()) bool {
 // TrySendAfter is TrySend with a per-message additional propagation delay,
 // used for routes whose mesh hop count varies by destination.
 func (c *Channel) TrySendAfter(size units.ByteSize, extra units.Time, deliver func()) bool {
-	if c.depth > 0 && c.queued >= c.depth {
+	if c.depth > 0 && c.occupancy() >= c.depth {
 		c.refused++
 		return false
 	}
@@ -160,13 +236,12 @@ func (c *Channel) enqueue(size units.ByteSize, extra units.Time, deliver func())
 }
 
 func (c *Channel) enqueuePost(size units.ByteSize, extra units.Time, deliver func(), post func(units.Time, func())) {
-	c.queued++
 	now := c.eng.Now()
 	start := now
 	if c.nextFree > start {
 		start = c.nextFree
 	}
-	txTime := c.capacity.TimeToSend(size)
+	txTime := c.timeToSend(size)
 	done := start + txTime
 	c.nextFree = done
 	c.busy += txTime
@@ -178,14 +253,82 @@ func (c *Channel) enqueuePost(size units.ByteSize, extra units.Time, deliver fun
 		// attributed by the caller, keeping span tilings overlap-free.
 		c.tr.Enqueue(c.hop, size, now, start, done, done+c.latency)
 	}
-	c.eng.At(done, c.departFn)
-	if deliver != nil {
-		if post != nil {
-			post(done+c.latency+extra, deliver)
-		} else {
-			c.eng.At(done+c.latency+extra, deliver)
-		}
+	if deliver == nil {
+		// No arrival to schedule: the depart event doubles as the
+		// message's only calendar footprint, keeping the engine's final
+		// clock after an unbounded Run exactly where it always was.
+		c.queued++
+		c.eng.At(done, c.departFn)
+		return
 	}
+	c.pushDeparture(done)
+	if post != nil {
+		post(done+c.latency+extra, deliver)
+	} else {
+		c.eng.At(done+c.latency+extra, deliver)
+	}
+}
+
+// TryExpress attempts to apply one send's complete serialization
+// bookkeeping in closed form — the bulk-advance half of the express-path
+// fusion layer. It succeeds only when the message would start service
+// immediately at virtual time v (no queued predecessors, serializer free)
+// and finish serializing strictly before fence, the caller's proof bound
+// that no calendar event can observe the channel in between. On success
+// the serializer clock, occupancy meter, queueing histogram and trace
+// span advance exactly as the classic enqueue at v would have — minus the
+// depart event, whose only effect (releasing the queue slot at done) is
+// already final because done < fence — and the delivery timestamp
+// done+latency+extra is returned for the caller to continue from. On
+// failure nothing changes and the caller must fall back to the classic
+// per-hop send at v.
+//
+// The departure stamp ring keeps occupancy classically exact even under
+// the relaxed fence callers use when v equals the engine clock — where
+// the bookkeeping is not early at all (a classic enqueue at v would
+// stamp identically) and only the depart event is elided, so fence need
+// only bound the drive horizon, not the next calendar event.
+func (c *Channel) TryExpress(size units.ByteSize, extra units.Time, v, fence units.Time) (units.Time, bool) {
+	// Idle-at-v check without touching the departure ring: nextFree is the
+	// max departure stamp, so nextFree <= v means every recorded stamp has
+	// departed by the time a classic enqueue at v would run (each stamp's
+	// reserved sequence number predates the event dispatching now), and
+	// the serializer is free. Only nil-delivery messages, invisible to the
+	// stamp ring, must be checked separately.
+	if c.queued != 0 || c.nextFree > v {
+		return 0, false
+	}
+	txTime := c.timeToSend(size)
+	done := v + txTime
+	if done >= fence {
+		return 0, false
+	}
+	c.nextFree = done
+	c.busy += txTime
+	c.queueLat.Record(0)
+	c.meter.Record(size)
+	if c.tr != nil {
+		c.tr.Enqueue(c.hop, size, v, v, done, done+c.latency)
+	}
+	c.pushDeparture(done)
+	return done + c.latency + extra, true
+}
+
+// Posted reports whether deliveries reroute through a cross-domain post
+// hook — the signal that an express walker must stop extending its fused
+// segment and let the continuation ride the epoch mailbox.
+func (c *Channel) Posted() bool { return c.post != nil }
+
+// Deliver schedules fn at t along the channel's delivery route: the
+// cross-domain post hook when one is set, the owning engine's calendar
+// otherwise. Express senders use it to schedule the arrival of a message
+// whose serialization TryExpress applied in closed form.
+func (c *Channel) Deliver(t units.Time, fn func()) {
+	if c.post != nil {
+		c.post(t, fn)
+		return
+	}
+	c.eng.At(t, fn)
 }
 
 // NextFree reports the absolute time the serializer finishes its current
@@ -210,7 +353,7 @@ func (c *Channel) Saturated(frac float64) bool {
 	if c.depth == 0 {
 		return false
 	}
-	return float64(c.queued) >= frac*float64(c.depth)
+	return float64(c.occupancy()) >= frac*float64(c.depth)
 }
 
 // Refused reports how many sends were refused by backpressure.

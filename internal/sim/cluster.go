@@ -251,6 +251,17 @@ func (cl *Cluster) Executed() uint64 {
 	return total + cl.ctl.Executed()
 }
 
+// Fused reports the events elided by express-path fusion across every
+// domain (the control engine hosts no walkers but is summed for symmetry
+// with Executed).
+func (cl *Cluster) Fused() uint64 {
+	var total uint64
+	for _, z := range cl.zones {
+		total += z.Fused()
+	}
+	return total + cl.ctl.Fused()
+}
+
 // Pending reports scheduled, not-yet-run events across all engines.
 func (cl *Cluster) Pending() int {
 	total := cl.ctl.Pending()

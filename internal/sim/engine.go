@@ -49,12 +49,33 @@ type Engine struct {
 	rng      *RNG
 	pending  int
 	executed uint64
+	fused    uint64
+
+	// curSeq is the sequence number of the event currently dispatching,
+	// or idleSeq between drives. Elided bookkeeping events (a channel's
+	// departure stamps) reserve real sequence numbers and compare them
+	// against curSeq, so a same-timestamp observer resolves "has this
+	// departure happened yet" exactly as the classic (time, seq)
+	// tie-break would have.
+	curSeq uint64
+
+	// limit is the current drive's horizon: RunUntil(t) sets it to t, Run
+	// to noEvent, Step to the dispatched event's own timestamp. It bounds
+	// ExpressFence — when the drive returns, the host resumes inspecting
+	// state as of the horizon, so no closed-form effect stamped beyond it
+	// may have been applied early.
+	limit units.Time
 
 	// baseTick is the first slot tick covered by the current wheel window
 	// [baseTick, baseTick+wheelSlots). It only moves forward, and only
 	// when the wheel is empty (see jump), so a slot index never aliases
 	// two live ticks.
-	baseTick   int64
+	baseTick int64
+	// scanHint is a tick below which no wheel slot is occupied — a
+	// monotone lower bound that lets the occupancy scan resume where the
+	// previous one left off instead of re-walking the bitmap from now's
+	// tick. Pushes below it lower it; finds advance it.
+	scanHint   int64
 	wheelCount int       // events currently in wheel slots
 	slots      [][]event // wheelSlots rings of per-slot min-heaps
 	occ        []uint64  // occupancy bitmap, one bit per slot
@@ -71,11 +92,32 @@ type Engine struct {
 // identically).
 func New(seed uint64) *Engine {
 	return &Engine{
-		rng:   NewRNG(seed),
-		slots: make([][]event, wheelSlots),
-		occ:   make([]uint64, wheelSlots/64),
+		rng:    NewRNG(seed),
+		slots:  make([][]event, wheelSlots),
+		occ:    make([]uint64, wheelSlots/64),
+		curSeq: idleSeq,
 	}
 }
+
+// idleSeq is curSeq between drives: the host observes state only after
+// every event at the current timestamp has run, so a departure stamped at
+// now always counts as departed.
+const idleSeq = ^uint64(0)
+
+// ReserveSeq consumes and returns the sequence number the next scheduled
+// event would have received, without scheduling anything. The express
+// path reserves the slot of each event it elides, so the (time, seq)
+// tie-break order of every event that does get scheduled is bit-for-bit
+// the order classic execution would have produced.
+func (e *Engine) ReserveSeq() uint64 {
+	e.seq++
+	return e.seq
+}
+
+// CurSeq reports the sequence number of the event currently dispatching
+// (idleSeq between drives). An elided departure at the current timestamp
+// has classically happened iff its reserved sequence number is below it.
+func (e *Engine) CurSeq() uint64 { return e.curSeq }
 
 // Now reports the current simulated time.
 func (e *Engine) Now() units.Time { return e.now }
@@ -89,6 +131,53 @@ func (e *Engine) Pending() int { return e.pending }
 // Executed reports the number of events run since construction — the
 // engine's work counter for throughput benchmarks (events/sec).
 func (e *Engine) Executed() uint64 { return e.executed }
+
+// Fused reports the number of would-be events whose effects were applied
+// in closed form by the express path instead of being scheduled and run.
+// Executed+Fused is the classic-equivalent event count of a run.
+func (e *Engine) Fused() uint64 { return e.fused }
+
+// NoteFused adjusts the fused-event counter: +1 when a calendar event's
+// effect was applied in closed form, -1 when a previously-elided
+// continuation had to rematerialize as a real event after all.
+func (e *Engine) NoteFused(d int64) { e.fused = uint64(int64(e.fused) + d) }
+
+// ExpressFence reports the exclusive bound under which state mutations
+// may be applied eagerly without any observer noticing: the earliest
+// pending event's timestamp, capped by the drive horizon (events do not
+// execute past it, and the host inspects state there). Engine state is
+// only ever observed by event callbacks and by the host between drives,
+// so effects whose classic execution timestamps all lie strictly below
+// this fence are indistinguishable from having been executed by events —
+// including RNG draw order, (time, seq) tie-breaks and FIFO order, since
+// nothing else runs in between. The fence is valid until the current
+// callback schedules or the engine dispatches another event.
+func (e *Engine) ExpressFence() units.Time {
+	f := noEvent
+	if e.limit < f {
+		f = e.limit + 1
+	}
+	if next, ok := e.NextAt(); ok && next < f {
+		f = next
+	}
+	return f
+}
+
+// LimitFence is the drive-horizon half of ExpressFence alone: the
+// exclusive bound below which a stamp cannot be observed by the host
+// between drives. Express hops applied at the current engine time use it
+// instead of the full fence — their channel bookkeeping is exactly what a
+// classic enqueue at the same instant would write, so pending calendar
+// events see no difference and only the drive horizon (and, in a
+// partitioned zone, the epoch barrier's view of the calendar) must stay
+// protected.
+func (e *Engine) LimitFence() units.Time {
+	f := noEvent
+	if e.limit < f {
+		f = e.limit + 1
+	}
+	return f
+}
 
 // NextAt reports the timestamp of the earliest pending event. ok is false
 // when the calendar is empty. The calendar is not restructured: peeking at
@@ -161,43 +250,53 @@ func (e *Engine) After(d units.Time, fn func()) {
 }
 
 // Step runs the single earliest pending event, advancing the clock to its
-// timestamp. It reports whether an event ran.
+// timestamp. It reports whether an event ran. The drive horizon closes to
+// the event's own timestamp: the caller may inspect any state between
+// single steps, so no future effect may be applied early.
 func (e *Engine) Step() bool {
-	tick, ok := e.nextTick(0, false)
-	if !ok {
-		return false
+	if next, ok := e.NextAt(); ok {
+		e.limit = next
 	}
-	ev := e.slotPop(tick)
-	e.now = ev.at
-	e.pending--
-	e.executed++
-	ev.fn()
-	return true
+	ran := e.stepOne(0, false)
+	e.curSeq = idleSeq
+	return ran
 }
 
 // Run processes events until the calendar is empty.
 func (e *Engine) Run() {
-	for e.Step() {
+	e.limit = noEvent
+	for e.stepOne(0, false) {
 	}
+	e.curSeq = idleSeq
 }
 
 // RunUntil processes every event scheduled at or before t, then advances
 // the clock to exactly t. Events scheduled later remain pending.
 func (e *Engine) RunUntil(t units.Time) {
-	for {
-		tick, ok := e.nextTick(t, true)
-		if !ok {
-			break
-		}
-		ev := e.slotPop(tick)
-		e.now = ev.at
-		e.pending--
-		e.executed++
-		ev.fn()
+	e.limit = t
+	for e.stepOne(t, true) {
 	}
+	e.curSeq = idleSeq
 	if t > e.now {
 		e.now = t
 	}
+}
+
+// stepOne pops and runs the earliest pending event (only up to limit when
+// bounded), reporting whether one ran. The drive horizon e.limit is set
+// by the drivers, not here — it outlives any single event.
+func (e *Engine) stepOne(limit units.Time, bounded bool) bool {
+	tick, ok := e.nextTick(limit, bounded)
+	if !ok {
+		return false
+	}
+	ev := e.slotPop(tick)
+	e.now = ev.at
+	e.curSeq = ev.seq
+	e.pending--
+	e.executed++
+	ev.fn()
+	return true
 }
 
 // RunFor processes events for a span d of simulated time starting now.
@@ -234,11 +333,16 @@ func (e *Engine) scanOccupied() int64 {
 	if start < e.baseTick {
 		start = e.baseTick
 	}
+	if start < e.scanHint {
+		start = e.scanHint
+	}
 	end := e.baseTick + wheelSlots
 	for t := start; t < end; {
 		pos := int(t & slotMask)
 		if w := e.occ[pos>>6] >> uint(pos&63); w != 0 {
-			return t + int64(bits.TrailingZeros64(w))
+			tick := t + int64(bits.TrailingZeros64(w))
+			e.scanHint = tick
+			return tick
 		}
 		t += int64(64 - pos&63)
 	}
@@ -252,6 +356,7 @@ func (e *Engine) scanOccupied() int64 {
 func (e *Engine) jump() {
 	minTick := int64(e.overflow[0].at) >> tickShift
 	e.baseTick = minTick
+	e.scanHint = minTick
 	horizon := minTick + wheelSlots
 	for len(e.overflow) > 0 {
 		tick := int64(e.overflow[0].at) >> tickShift
@@ -265,6 +370,9 @@ func (e *Engine) jump() {
 }
 
 func (e *Engine) slotPush(tick int64, ev event) {
+	if tick < e.scanHint {
+		e.scanHint = tick
+	}
 	idx := tick & slotMask
 	h := e.slots[idx]
 	if len(h) == 0 {

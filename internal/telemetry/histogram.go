@@ -26,7 +26,12 @@ const subBuckets = 32
 // across ten orders of magnitude with a few KiB of memory. The zero value
 // is ready to use.
 type Histogram struct {
-	counts  map[int]uint64
+	// counts is indexed by bucket. bucketIndex is bounded (the largest
+	// 64-bit value lands below (64-4)*subBuckets), so a dense slice grown
+	// to the largest bucket seen replaces a map: Record is the hottest
+	// telemetry call in the simulator and a map assign per observation
+	// dominated its cost.
+	counts  []uint64
 	total   uint64
 	sum     float64
 	min     units.Time
@@ -41,10 +46,11 @@ func (h *Histogram) Record(v units.Time) {
 	if v < 0 {
 		v = 0
 	}
-	if h.counts == nil {
-		h.counts = make(map[int]uint64)
+	idx := bucketIndex(v)
+	if idx >= len(h.counts) {
+		h.counts = append(h.counts, make([]uint64, idx+1-len(h.counts))...)
 	}
-	h.counts[bucketIndex(v)]++
+	h.counts[idx]++
 	h.total++
 	h.sum += float64(v)
 	if !h.hasData || v < h.min {
@@ -123,9 +129,12 @@ func (h *Histogram) Percentile(p float64) units.Time {
 	// Walk buckets in value order.
 	var seen uint64
 	maxIdx := bucketIndex(h.max)
+	if maxIdx >= len(h.counts) {
+		maxIdx = len(h.counts) - 1
+	}
 	for i := 0; i <= maxIdx; i++ {
-		c, ok := h.counts[i]
-		if !ok {
+		c := h.counts[i]
+		if c == 0 {
 			continue
 		}
 		seen += c
@@ -154,8 +163,8 @@ func (h *Histogram) Merge(other *Histogram) {
 	if other == nil || other.total == 0 {
 		return
 	}
-	if h.counts == nil {
-		h.counts = make(map[int]uint64)
+	if n := len(other.counts); n > len(h.counts) {
+		h.counts = append(h.counts, make([]uint64, n-len(h.counts))...)
 	}
 	for i, c := range other.counts {
 		h.counts[i] += c
@@ -173,7 +182,11 @@ func (h *Histogram) Merge(other *Histogram) {
 
 // Reset discards all observations.
 func (h *Histogram) Reset() {
-	h.counts = nil
+	// Keep the backing array (zeroed) so a reset histogram records
+	// without reallocating its bucket range.
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
 	h.total = 0
 	h.sum = 0
 	h.min = 0
